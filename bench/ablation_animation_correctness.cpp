@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Ablation: animation correctness under load (§4.4).
+ *
+ * "DTV guarantees that animations never appear fast in accumulation or
+ * slow down in long frames, with a uniform pacing just as the fixed
+ * VSync rhythm." This bench plays a fling curve through increasingly
+ * loaded pipelines and scores, for every displayed refresh, how far the
+ * on-screen content is from where an ideally-timed frame would be
+ * (after compensating each run's constant pipeline lag).
+ */
+
+#include <cstdio>
+
+#include "anim/judder.h"
+#include "bench_common.h"
+#include "metrics/reporter.h"
+#include "workload/distributions.h"
+
+using namespace dvs;
+using namespace dvs::bench;
+using namespace dvs::time_literals;
+
+namespace {
+
+JudderReport
+score(RenderMode mode, double heavy_rate, std::uint64_t seed)
+{
+    ProfileSpec spec;
+    spec.name = "anim";
+    spec.heavy_per_sec = heavy_rate;
+    spec.heavy_min_periods = 1.2;
+    spec.heavy_max_periods = 3.0;
+    spec.heavy_alpha = 1.4;
+    auto cost = make_cost_model(spec, 60.0, seed);
+
+    Scenario sc("fling");
+    sc.animate(1_s, cost);
+    SystemConfig cfg;
+    cfg.device = pixel5();
+    cfg.mode = mode;
+    cfg.seed = seed;
+    RenderSystem sys(cfg, sc);
+    sys.run();
+
+    Animation fling(std::make_shared<FlingCurve>(4.0), 0, 1_s, 0.0,
+                    2400.0);
+    // Walk the refreshes chronologically: presented refreshes update the
+    // on-screen content; due drops keep showing the stale content and
+    // are scored against their own refresh time.
+    std::vector<DisplayedFrame> frames;
+    Time on_screen = kTimeNone;
+    for (const RefreshLog &r : sys.stats().refreshes()) {
+        if (r.presented) {
+            on_screen =
+                sys.producer().record(r.frame_id).content_timestamp;
+            frames.push_back({on_screen, r.time});
+        } else if (r.drop && on_screen != kTimeNone) {
+            frames.push_back({on_screen, r.time});
+        }
+    }
+    return score_playback(fling, frames);
+}
+
+} // namespace
+
+int
+main()
+{
+    print_section("Ablation: animation position error under load "
+                  "(2400 px fling, Pixel 5)");
+
+    TableReporter table({"key frames/s", "VSync err px (mean/max)",
+                         "D-VSync err px (mean/max)",
+                         "VSync lag", "D-VSync lag"});
+    for (double rate : {1.0, 3.0, 6.0, 10.0}) {
+        const JudderReport vs = score(RenderMode::kVsync, rate, 17);
+        const JudderReport dv = score(RenderMode::kDvsync, rate, 17);
+        char vbuf[48], dbuf[48];
+        std::snprintf(vbuf, sizeof(vbuf), "%.1f / %.1f",
+                      vs.position_error_px.mean(), vs.max_error_px);
+        std::snprintf(dbuf, sizeof(dbuf), "%.1f / %.1f",
+                      dv.position_error_px.mean(), dv.max_error_px);
+        table.add_row({TableReporter::num(rate, 0), vbuf, dbuf,
+                       format_time(vs.content_offset),
+                       format_time(dv.content_offset)});
+    }
+    table.print();
+
+    std::printf("\nexpected shape: VSync shows tens of pixels of mean "
+                "position error (repeats and\nstuffing shift content off "
+                "the curve) and a multi-period content lag; D-VSync\n"
+                "stays near zero on both at every load because frames "
+                "sample the motion curve\nat their actual display time "
+                "(§4.4).\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ablation: DTV calibration interval under hardware vsync jitter.
+ *
+ * §5.1: "DTV calibrates the issued D-Timestamp every few frames with
+ * hardware VSync signals to avoid error accumulation." This sweep runs a
+ * jittery panel and varies how often DTV resamples the hardware into its
+ * timing model, measuring the D-Timestamp promise error and the residual
+ * frame drops.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "metrics/reporter.h"
+#include "workload/frame_cost.h"
+
+using namespace dvs;
+using namespace dvs::bench;
+using namespace dvs::time_literals;
+
+namespace {
+
+struct CalRun {
+    double err_mean_us = 0.0;
+    double err_max_us = 0.0;
+    std::uint64_t drops = 0;
+    std::uint64_t calibrations = 0;
+};
+
+CalRun
+run_with_interval(int interval, Time jitter, std::uint64_t seed)
+{
+    auto cost = std::make_shared<ConstantCostModel>(2_ms, 5_ms);
+    Scenario sc("cal");
+    sc.animate(5_s, cost);
+
+    SystemConfig cfg;
+    cfg.device = pixel5();
+    cfg.mode = RenderMode::kDvsync;
+    cfg.vsync_jitter = jitter;
+    cfg.dtv_calibration_interval = interval;
+    cfg.seed = seed;
+    RenderSystem sys(cfg, sc);
+    sys.run();
+
+    CalRun out;
+    out.err_mean_us = to_us(Time(sys.dtv()->promise_error().mean()));
+    out.err_max_us = to_us(Time(sys.dtv()->promise_error().max()));
+    out.drops = sys.stats().frame_drops();
+    out.calibrations = sys.dtv()->calibrations();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    print_section("Ablation: DTV calibration interval vs promise error "
+                  "(Pixel 5, 250 us vsync jitter)");
+
+    const Time jitter = 250_us;
+    TableReporter table({"calibration interval", "samples taken",
+                         "promise err mean us", "err max us", "drops"});
+    for (int interval : {1, 2, 4, 8, 16, 32}) {
+        const CalRun r = run_with_interval(interval, jitter, 91);
+        table.add_row({std::to_string(interval),
+                       std::to_string(r.calibrations),
+                       TableReporter::num(r.err_mean_us, 1),
+                       TableReporter::num(r.err_max_us, 1),
+                       std::to_string(r.drops)});
+    }
+    table.print();
+
+    const CalRun ideal = run_with_interval(1, 0, 91);
+    std::printf("\nideal panel (no jitter): promise error %.1f us\n",
+                ideal.err_mean_us);
+    std::printf("expected shape: error grows with sparser calibration "
+                "but stays far below one period (16667 us); frequent "
+                "calibration recovers near-exact promises.\n");
+    return 0;
+}

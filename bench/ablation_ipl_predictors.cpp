@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Ablation: IPL predictor choice.
+ *
+ * §4.6: "simple heuristic curves can fit the input patterns with very
+ * smooth user experience." This sweep compares the prediction error of
+ * the available fitters — last-value (no prediction), linear (the ZDP),
+ * and quadratic — across gesture families and prediction horizons.
+ */
+
+#include <cstdio>
+
+#include "core/input_prediction_layer.h"
+#include "core/predictors_extra.h"
+#include "input/gesture.h"
+#include "metrics/reporter.h"
+#include "sim/stats.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+namespace {
+
+struct GestureCase {
+    const char *name;
+    TouchStream stream;
+};
+
+std::vector<GestureCase>
+make_gestures()
+{
+    Rng rng(7);
+    std::vector<GestureCase> cases;
+
+    GestureTiming swipe_t;
+    swipe_t.duration = 500_ms;
+    swipe_t.noise_px = 2.0;
+    Rng n1 = rng.fork();
+    cases.push_back(
+        {"ease-out swipe", make_swipe(swipe_t, 1800, 1200, &n1)});
+
+    GestureTiming drag_t;
+    drag_t.duration = 500_ms;
+    drag_t.noise_px = 2.0;
+    Rng n2 = rng.fork();
+    cases.push_back(
+        {"constant drag", make_drag(drag_t, 2000, 1500, &n2)});
+
+    GestureTiming pinch_t;
+    pinch_t.duration = 600_ms;
+    pinch_t.noise_px = 1.5;
+    Rng n3 = rng.fork();
+    cases.push_back(
+        {"pinch zoom", make_pinch(pinch_t, 180, 620, &n3)});
+
+    return cases;
+}
+
+double
+score(const InputPredictor &p, const TouchStream &s, Time horizon)
+{
+    SampleStat err;
+    const Time start = s.start_time() + 100_ms;
+    const Time end = s.end_time() - horizon;
+    for (Time now = start; now <= end; now += 8'333'333) {
+        const Time target = now + horizon;
+        const double truth = touch_value(s.interpolate(target));
+        err.add(std::abs(p.predict(s, now, target) - truth));
+    }
+    return err.mean();
+}
+
+} // namespace
+
+int
+main()
+{
+    print_section("Ablation: IPL predictor error (px) by gesture and "
+                  "prediction horizon");
+
+    const LastValuePredictor last;
+    const LinearPredictor linear(80_ms);
+    const QuadraticPredictor quadratic(120_ms);
+    const AlphaBetaPredictor alpha_beta;
+    const DampedTrendPredictor damped;
+
+    for (Time horizon : {Time(16'666'666), Time(33'333'333),
+                         Time(50'000'000)}) {
+        std::printf("\nprediction horizon: %.1f ms (%.0f periods at "
+                    "60 Hz)\n",
+                    to_ms(horizon), to_ms(horizon) / 16.667);
+        TableReporter table({"gesture", "last-value", "linear (ZDP)",
+                             "quadratic", "alpha-beta", "damped-trend"});
+        for (const GestureCase &g : make_gestures()) {
+            table.add_row(
+                {g.name,
+                 TableReporter::num(score(last, g.stream, horizon), 1),
+                 TableReporter::num(score(linear, g.stream, horizon), 1),
+                 TableReporter::num(score(quadratic, g.stream, horizon),
+                                    1),
+                 TableReporter::num(score(alpha_beta, g.stream, horizon),
+                                    1),
+                 TableReporter::num(score(damped, g.stream, horizon),
+                                    1)});
+        }
+        table.print();
+    }
+
+    std::printf("\nexpected shape: linear fitting cuts the last-value "
+                "error by an order of magnitude (the paper's ZDP choice); "
+                "quadratic helps on curved gestures, at some noise "
+                "sensitivity.\n");
+    return 0;
+}

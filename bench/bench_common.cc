@@ -1,0 +1,117 @@
+#include "bench_common.h"
+
+#include <algorithm>
+
+namespace dvs::bench {
+
+BenchRun
+run_system(const SystemConfig &config, const Scenario &scenario)
+{
+    RenderSystem sys(config, scenario);
+    sys.run();
+
+    BenchRun r;
+    FrameStats &stats = sys.stats();
+    r.fdps = stats.fdps();
+    r.drops = stats.frame_drops();
+    r.frames_due = stats.frames_due();
+    r.presents = stats.presents();
+    r.latency_mean_ms = to_ms(Time(stats.latency().mean()));
+    r.latency_p95_ms = to_ms(Time(stats.latency().percentile(95)));
+    r.fd_percent = stats.frame_drop_percent();
+    r.direct = stats.direct_composition();
+    r.stuffed = stats.buffer_stuffing();
+    r.stutters = count_stutters(stats);
+    const RunActivity act = sys.activity();
+    r.pipeline_busy_s = to_seconds(act.pipeline_busy);
+    r.frames_produced = act.frames_produced;
+    r.predicted_frames = act.predicted_frames;
+    return r;
+}
+
+BenchRun
+run_profile(const ProfileSpec &spec, const DeviceConfig &device,
+            RenderMode mode, int buffers, const SwipeSetup &setup,
+            std::uint64_t seed_base)
+{
+    BenchRun avg;
+    for (int rep = 0; rep < setup.repeats; ++rep) {
+        const std::uint64_t seed = seed_base + std::uint64_t(rep) * 7919;
+        auto cost = make_cost_model(spec, device.refresh_hz, seed);
+        const double fraction = spec.window_fraction > 0
+                                    ? spec.window_fraction
+                                    : setup.active_fraction;
+        const Scenario sc = make_swipe_scenario(
+            spec.name, setup.swipes, setup.swipe_period, cost, fraction);
+
+        SystemConfig cfg;
+        cfg.device = device;
+        cfg.mode = mode;
+        cfg.buffers = buffers;
+        cfg.prerender_limit = setup.prerender_limit;
+        cfg.seed = seed;
+        const BenchRun r = run_system(cfg, sc);
+
+        avg.fdps += r.fdps;
+        avg.drops += r.drops;
+        avg.frames_due += r.frames_due;
+        avg.presents += r.presents;
+        avg.latency_mean_ms += r.latency_mean_ms;
+        avg.latency_p95_ms += r.latency_p95_ms;
+        avg.fd_percent += r.fd_percent;
+        avg.direct += r.direct;
+        avg.stuffed += r.stuffed;
+        avg.stutters += r.stutters;
+        avg.pipeline_busy_s += r.pipeline_busy_s;
+        avg.frames_produced += r.frames_produced;
+        avg.predicted_frames += r.predicted_frames;
+    }
+    const double n = double(setup.repeats);
+    avg.fdps /= n;
+    avg.latency_mean_ms /= n;
+    avg.latency_p95_ms /= n;
+    avg.fd_percent /= n;
+    avg.pipeline_busy_s /= n;
+    return avg;
+}
+
+ProfileSpec
+calibrate_baseline(const ProfileSpec &spec, const DeviceConfig &device,
+                   int vsync_buffers, const SwipeSetup &setup,
+                   std::uint64_t seed)
+{
+    ProfileSpec out = spec;
+    if (spec.paper_fdps <= 0)
+        return out;
+
+    SwipeSetup quick = setup;
+    quick.repeats = std::max(1, setup.repeats - 1);
+    for (int iter = 0; iter < 4; ++iter) {
+        const BenchRun r = run_profile(out, device, RenderMode::kVsync,
+                                       vsync_buffers, quick, seed);
+        if (r.fdps <= 0) {
+            out.heavy_per_sec *= 2.0;
+            continue;
+        }
+        const double ratio = spec.paper_fdps / r.fdps;
+        if (ratio > 0.93 && ratio < 1.07)
+            break;
+        // Damped multiplicative update keeps the iteration stable for
+        // bursty tails where drops respond super-linearly to the rate.
+        out.heavy_per_sec *=
+            std::clamp(1.0 + 0.8 * (ratio - 1.0), 0.35, 2.5);
+        out.heavy_per_sec =
+            std::min(out.heavy_per_sec, 0.4 * device.refresh_hz);
+    }
+    return out;
+}
+
+double
+reduction_percent(double a, double b)
+{
+    if (a <= 0)
+        return 0.0;
+    return 100.0 * (1.0 - b / a);
+}
+
+} // namespace dvs::bench

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries.
+ *
+ * Every bench regenerates one table or figure of the paper: it builds the
+ * workload the paper describes, runs it under the baseline VSync and/or
+ * D-VSync configurations, and prints the same rows/series the paper
+ * reports (with the paper's numbers alongside for comparison).
+ */
+
+#ifndef DVS_BENCH_BENCH_COMMON_H
+#define DVS_BENCH_BENCH_COMMON_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/render_system.h"
+#include "metrics/latency.h"
+#include "metrics/stutter_model.h"
+#include "workload/app_profiles.h"
+
+namespace dvs::bench {
+
+/** Condensed outcome of one simulated run. */
+struct BenchRun {
+    double fdps = 0.0;
+    std::uint64_t drops = 0;
+    std::int64_t frames_due = 0;
+    std::uint64_t presents = 0;
+    double latency_mean_ms = 0.0;
+    double latency_p95_ms = 0.0;
+    double fd_percent = 0.0;
+    std::uint64_t direct = 0;
+    std::uint64_t stuffed = 0;
+    std::uint64_t stutters = 0;
+    double pipeline_busy_s = 0.0;
+    std::uint64_t frames_produced = 0;
+    std::uint64_t predicted_frames = 0;
+};
+
+/** Parameters of the §6.1 swipe methodology. */
+struct SwipeSetup {
+    int swipes = 40;          ///< two per second for 20 s
+    Time swipe_period = 500'000'000;
+    double active_fraction = 0.7;
+    int repeats = 3;          ///< paper: averages over several runs
+    /** D-VSync pre-render limit (-1 = derive from the buffer count). */
+    int prerender_limit = -1;
+
+    /** The OS-use-case methodology: short one-shot operations (§A.2)
+     *  with the OpenHarmony render service's 3-back-buffer pre-render
+     *  limit (§5.1). */
+    static SwipeSetup os_cases()
+    {
+        SwipeSetup s;
+        s.swipes = 40;
+        s.swipe_period = 560'000'000;
+        s.active_fraction = 0.5;
+        s.prerender_limit = 3;
+        return s;
+    }
+};
+
+/** Run one configuration once and summarize. */
+BenchRun run_system(const SystemConfig &config, const Scenario &scenario);
+
+/**
+ * Run an app/os-case profile through the swipe methodology, averaging
+ * over `setup.repeats` seeds.
+ */
+BenchRun run_profile(const ProfileSpec &spec, const DeviceConfig &device,
+                     RenderMode mode, int buffers, const SwipeSetup &setup,
+                     std::uint64_t seed_base = 1);
+
+/** Percentage reduction from a to b (positive = improvement). */
+double reduction_percent(double a, double b);
+
+/**
+ * Calibrate a profile's key-frame rate so its *baseline VSync* FDPS
+ * matches the paper's reported value on the given device (secant
+ * iteration on heavy_per_sec). The D-VSync results are then measured,
+ * not encoded: only the baseline is anchored, exactly as described in
+ * DESIGN.md. Returns the spec unchanged when paper_fdps == 0.
+ */
+ProfileSpec calibrate_baseline(const ProfileSpec &spec,
+                               const DeviceConfig &device,
+                               int vsync_buffers, const SwipeSetup &setup,
+                               std::uint64_t seed);
+
+} // namespace dvs::bench
+
+#endif // DVS_BENCH_BENCH_COMMON_H

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Figure 9: the scope of the D-VSync approach.
+ *
+ * The paper classifies a typical user's frames into deterministic
+ * animations (~85%, pre-renderable with no app changes), predictable
+ * interactions (~10%, D-VSync-extensible via the IPL), and real-time
+ * content (~5%, where D-VSync stays off). This bench composes a "typical
+ * day" scenario with that mix and measures which channel actually
+ * handled each frame — pre-rendered, IPL-predicted, or the VSync
+ * fallback — with and without a registered predictor.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/input_prediction_layer.h"
+#include "input/gesture.h"
+#include "metrics/reporter.h"
+#include "workload/distributions.h"
+
+using namespace dvs;
+using namespace dvs::bench;
+using namespace dvs::time_literals;
+
+namespace {
+
+Scenario
+typical_day(std::uint64_t seed)
+{
+    Rng rng(seed);
+    ProfileSpec spec;
+    spec.name = "scope";
+    spec.heavy_per_sec = 2.0;
+    spec.heavy_max_periods = 2.5;
+
+    Scenario sc("typical day");
+    for (int block = 0; block < 12; ++block) {
+        // ~85%: clicking-triggered animations (open, transition, fling).
+        for (int i = 0; i < 5; ++i) {
+            sc.animate(400_ms,
+                       make_cost_model(spec, 60.0, rng.next_u64()),
+                       "animation");
+        }
+        // ~10%: a continuous interaction (browse / zoom).
+        GestureTiming timing;
+        timing.duration = 280_ms;
+        Rng noise = rng.fork();
+        sc.interact(std::make_shared<TouchStream>(make_swipe(
+                        timing, 1800, rng.uniform(600, 1400), &noise)),
+                    make_cost_model(spec, 60.0, rng.next_u64()), "browse");
+        // ~5%: real-time content (camera preview, PvP game).
+        sc.realtime(140_ms, make_cost_model(spec, 60.0, rng.next_u64()),
+                    "realtime");
+    }
+    return sc;
+}
+
+struct ScopeCount {
+    std::uint64_t anim = 0, inter = 0, realtime = 0;
+    std::uint64_t pre_rendered = 0, predicted = 0, fallback = 0;
+};
+
+ScopeCount
+measure(bool with_predictor)
+{
+    SystemConfig cfg;
+    cfg.device = pixel5();
+    cfg.mode = RenderMode::kDvsync;
+    RenderSystem sys(cfg, typical_day(3));
+    if (with_predictor) {
+        sys.runtime()->register_predictor(
+            "browse", std::make_shared<LinearPredictor>());
+    }
+    sys.run();
+
+    ScopeCount out;
+    for (const FrameRecord &rec : sys.producer().records()) {
+        switch (rec.kind) {
+          case SegmentKind::kAnimation:
+            ++out.anim;
+            break;
+          case SegmentKind::kInteraction:
+            ++out.inter;
+            break;
+          case SegmentKind::kRealtime:
+            ++out.realtime;
+            break;
+          default:
+            break;
+        }
+        if (rec.pre_rendered)
+            ++out.pre_rendered;
+        else
+            ++out.fallback;
+    }
+    if (sys.runtime())
+        out.predicted = sys.runtime()->ipl().predictions();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    print_section("Figure 9: the scope of D-VSync on a typical user's "
+                  "frame mix");
+
+    const ScopeCount oblivious = measure(false);
+    const ScopeCount aware = measure(true);
+
+    const double total =
+        double(oblivious.anim + oblivious.inter + oblivious.realtime);
+    std::printf("\nframe mix: %.1f%% animations, %.1f%% interactions, "
+                "%.1f%% real-time\n(paper: ~85%% / ~10%% / ~5%%)\n",
+                100.0 * double(oblivious.anim) / total,
+                100.0 * double(oblivious.inter) / total,
+                100.0 * double(oblivious.realtime) / total);
+
+    TableReporter table({"channel", "decoupling-oblivious app",
+                         "decoupling-aware app (IPL registered)"});
+    table.add_row({"pre-rendered frames",
+                   TableReporter::num(100.0 *
+                                      double(oblivious.pre_rendered) /
+                                      total, 1) + "%",
+                   TableReporter::num(100.0 * double(aware.pre_rendered) /
+                                      total, 1) + "%"});
+    table.add_row({"vsync-path frames",
+                   TableReporter::num(100.0 * double(oblivious.fallback) /
+                                      total, 1) + "%",
+                   TableReporter::num(100.0 * double(aware.fallback) /
+                                      total, 1) + "%"});
+    table.add_row({"IPL predictions served", "0",
+                   std::to_string(aware.predicted)});
+    table.print();
+
+    std::printf("\npaper:    decoupled pre-rendering applies to all "
+                "deterministic animation frames\n(85%%) and extends to "
+                "simple interactive frames (10%%), covering ~95%% of\n"
+                "frames; real-time content stays on the VSync path.\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 11: D-VSync FDPS reduction for the 25 top apps on Google
+ * Pixel 5 (60 Hz).
+ *
+ * For each app, 1000 frames are recorded by swiping the main page twice
+ * a second, under VSync with triple buffering and D-VSync with 4, 5, and
+ * 7 buffers. The paper reports an average baseline of 2.04 FDPS, reduced
+ * to 0.58 (4 bufs, −71.6%), 0.25 (5 bufs, −87.7%), and 0.06 (7 bufs).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "metrics/reporter.h"
+
+using namespace dvs;
+using namespace dvs::bench;
+
+int
+main()
+{
+    print_section(
+        "Figure 11: FDPS for 25 apps on Google Pixel 5 (60 Hz), "
+        "VSync 3 bufs vs D-VSync 4/5/7 bufs");
+
+    const DeviceConfig device = pixel5();
+    SwipeSetup setup;
+    // 1000 frames at 60 Hz ~ 25 swipes of 0.7 * 500 ms each.
+    setup.swipes = 48;
+
+    TableReporter table({"app", "paper", "VSync 3", "D-VSync 4",
+                         "D-VSync 5", "D-VSync 7", "reduction@5"});
+
+    double sum_vs = 0, sum_d4 = 0, sum_d5 = 0, sum_d7 = 0, sum_paper = 0;
+    for (const ProfileSpec &raw : pixel5_app_profiles()) {
+        const std::uint64_t seed = std::hash<std::string>{}(raw.name);
+        const ProfileSpec app =
+            calibrate_baseline(raw, device, 3, setup, seed);
+        const BenchRun vs = run_profile(app, device, RenderMode::kVsync,
+                                        3, setup, seed);
+        const BenchRun d4 = run_profile(app, device, RenderMode::kDvsync,
+                                        4, setup, seed);
+        const BenchRun d5 = run_profile(app, device, RenderMode::kDvsync,
+                                        5, setup, seed);
+        const BenchRun d7 = run_profile(app, device, RenderMode::kDvsync,
+                                        7, setup, seed);
+        sum_paper += app.paper_fdps;
+        sum_vs += vs.fdps;
+        sum_d4 += d4.fdps;
+        sum_d5 += d5.fdps;
+        sum_d7 += d7.fdps;
+        table.add_row({app.name, TableReporter::num(app.paper_fdps),
+                       TableReporter::num(vs.fdps),
+                       TableReporter::num(d4.fdps),
+                       TableReporter::num(d5.fdps),
+                       TableReporter::num(d7.fdps),
+                       TableReporter::num(
+                           reduction_percent(vs.fdps, d5.fdps), 1) + "%"});
+    }
+    const double n = double(pixel5_app_profiles().size());
+    table.add_row({"AVERAGE", TableReporter::num(sum_paper / n),
+                   TableReporter::num(sum_vs / n),
+                   TableReporter::num(sum_d4 / n),
+                   TableReporter::num(sum_d5 / n),
+                   TableReporter::num(sum_d7 / n), ""});
+    table.print();
+
+    std::printf("\npaper:    avg 2.04 -> 0.58 (4 bufs, -71.6%%) "
+                "-> 0.25 (5 bufs, -87.7%%) -> 0.06 (7 bufs)\n");
+    std::printf("measured: avg %.2f -> %.2f (4 bufs, %.1f%%) "
+                "-> %.2f (5 bufs, %.1f%%) -> %.2f (7 bufs, %.1f%%)\n",
+                sum_vs / n, sum_d4 / n,
+                -reduction_percent(sum_vs, sum_d4), sum_d5 / n,
+                -reduction_percent(sum_vs, sum_d5), sum_d7 / n,
+                -reduction_percent(sum_vs, sum_d7));
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Example: a Chromium-style compositor as a custom-rendering app (§6.6).
+ *
+ * Chromium rasterizes page layers into tiles asynchronously and
+ * composites them synchronously with VSync. Scrolling into unrasterized
+ * regions forces expensive synchronous raster work — the key frames that
+ * cause jank during fling animations. This example models three page
+ * profiles and drives their fling animations through the decoupling-aware
+ * D-VSync path, reporting frame drops and the smoothness (judder) of the
+ * fling curve.
+ *
+ * Usage: chromium_compositor [seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "anim/judder.h"
+#include "core/render_system.h"
+#include "metrics/reporter.h"
+#include "workload/app_profiles.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+namespace {
+
+struct Page {
+    const char *name;
+    double raster_rate;   ///< synchronous tile rasterizations per second
+    double raster_cost;   ///< worst tile burst, in refresh periods
+    double scroll_px;     ///< fling travel
+};
+
+Scenario
+fling_session(const Page &page, std::uint64_t seed)
+{
+    ProfileSpec spec;
+    spec.name = page.name;
+    spec.heavy_per_sec = page.raster_rate;
+    spec.heavy_min_periods = 1.2;
+    spec.heavy_max_periods = page.raster_cost;
+    spec.heavy_alpha = 1.5;
+    spec.short_mean_periods = 0.35; // pure compositing is cheap
+    spec.ui_fraction = 0.3;
+
+    Scenario sc(page.name);
+    Rng rng(seed);
+    for (int i = 0; i < 10; ++i) {
+        // Each swipe ends in a ~600 ms fling animation the compositor
+        // pre-renders through the decoupling-aware APIs.
+        sc.animate(600_ms,
+                   make_cost_model(spec, 60.0, rng.next_u64()), "fling");
+        sc.idle(250_ms);
+    }
+    return sc;
+}
+
+void
+run_page(const Page &page, std::uint64_t seed, TableReporter &table)
+{
+    JudderReport judder[2];
+    double fdps[2];
+    for (int dv = 0; dv < 2; ++dv) {
+        SystemConfig cfg;
+        cfg.device = pixel5();
+        cfg.mode = dv ? RenderMode::kDvsync : RenderMode::kVsync;
+        cfg.buffers = dv ? 5 : 3; // the compositor configures its limit
+        cfg.seed = seed;
+        RenderSystem sys(cfg, fling_session(page, seed));
+        sys.run();
+        fdps[dv] = sys.stats().fdps();
+
+        // Score the first fling's smoothness with a deceleration curve.
+        Animation fling(std::make_shared<FlingCurve>(4.0), 0, 600_ms, 0.0,
+                        page.scroll_px);
+        std::vector<DisplayedFrame> frames;
+        for (const ShownFrame &f : sys.stats().shown()) {
+            if (f.segment_index == 0)
+                frames.push_back({f.content_timestamp, f.present_time});
+        }
+        judder[dv] = score_playback(fling, frames);
+    }
+
+    table.add_row({page.name, TableReporter::num(fdps[0]),
+                   TableReporter::num(fdps[1]),
+                   TableReporter::num(judder[0].max_error_px, 1),
+                   TableReporter::num(judder[1].max_error_px, 1)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t seed =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+
+    print_section("Chromium compositor: decoupled pre-rendering of fling "
+                  "animations");
+
+    const Page pages[] = {
+        {"Sina", 3.2, 3.2, 2400.0},
+        {"Weather", 1.8, 2.6, 1600.0},
+        {"AI Life", 2.4, 2.8, 2000.0},
+    };
+
+    TableReporter table({"page", "VSync FDPS", "D-VSync FDPS",
+                         "VSync judder px", "D-VSync judder px"});
+    for (const Page &page : pages)
+        run_page(page, seed, table);
+    table.print();
+
+    std::printf("\nThe decoupled compositor pre-renders fling frames with "
+                "DTV display timestamps:\nframe drops nearly vanish and "
+                "the shown scroll positions stay on the fling curve\n"
+                "(the paper reports FDPS 1.47 -> 0.08 across these "
+                "pages).\n");
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Example: the render service serving two apps on one display.
+ *
+ * OpenHarmony's Render Service handles every app's frames (§5.1); this
+ * example wires two independent producers — a scrolling feed and the
+ * notification center sliding over it — to one hardware VSync generator,
+ * each with its own buffer queue, panel layer, and D-VSync stack
+ * (FPE + DTV + runtime). It shows that the decoupled architecture
+ * composes per layer: each app accumulates independently and the heavy
+ * notification-center animation stops stealing the feed's smoothness.
+ *
+ * Usage: dual_app
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/display_time_virtualizer.h"
+#include "core/dvsync_runtime.h"
+#include "core/frame_pre_executor.h"
+#include "metrics/frame_stats.h"
+#include "metrics/reporter.h"
+#include "workload/frame_cost.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+namespace {
+
+/** One app layer: queue + panel + producer + optional D-VSync stack. */
+struct AppLayer {
+    AppLayer(Simulator &sim, HwVsyncGenerator &hw, VsyncDistributor &dist,
+             Scenario scenario, bool dvsync, int buffers)
+        : queue(buffers), panel(hw, queue),
+          producer(sim, std::move(scenario), queue, dist)
+    {
+        if (dvsync) {
+            DvsyncConfig dc;
+            dc.prerender_limit = prerender_limit_for_buffers(buffers);
+            runtime = std::make_unique<DvsyncRuntime>(dc);
+            dtv = std::make_unique<DisplayTimeVirtualizer>(sim, hw, panel,
+                                                           dc);
+            fpe = std::make_unique<FramePreExecutor>(*dtv, queue, panel,
+                                                     *runtime, dc);
+            runtime->bind(producer, *dtv, *fpe, queue);
+            producer.set_pacer(fpe.get());
+        } else {
+            vsync_pacer = std::make_unique<VsyncPacer>();
+            producer.set_pacer(vsync_pacer.get());
+        }
+        stats = std::make_unique<FrameStats>(producer, panel);
+    }
+
+    BufferQueue queue;
+    Panel panel;
+    Producer producer;
+    std::unique_ptr<VsyncPacer> vsync_pacer;
+    std::unique_ptr<DvsyncRuntime> runtime;
+    std::unique_ptr<DisplayTimeVirtualizer> dtv;
+    std::unique_ptr<FramePreExecutor> fpe;
+    std::unique_ptr<FrameStats> stats;
+};
+
+Scenario
+feed_scenario()
+{
+    // Continuous scrolling with light key frames.
+    auto cost = std::make_shared<PeriodicSpikeCostModel>(
+        FrameCost{1_ms, 4_ms}, FrameCost{2_ms, 14_ms}, 25, 7);
+    Scenario sc("feed");
+    for (int i = 0; i < 6; ++i)
+        sc.animate(400_ms, cost, "scroll").idle(100_ms);
+    return sc;
+}
+
+Scenario
+notification_scenario()
+{
+    // The notification center slides in and out with heavy blur frames.
+    auto cost = std::make_shared<PeriodicSpikeCostModel>(
+        FrameCost{2_ms, 6_ms}, FrameCost{3_ms, 28_ms}, 8, 3);
+    Scenario sc("notif");
+    sc.idle(500_ms);
+    for (int i = 0; i < 4; ++i)
+        sc.animate(300_ms, cost, "slide").idle(400_ms);
+    return sc;
+}
+
+void
+run_pair(bool dvsync, TableReporter &table)
+{
+    Simulator sim(77);
+    HwVsyncGenerator hw(sim, 60.0);
+    VsyncDistributor dist(sim, hw);
+
+    AppLayer feed(sim, hw, dist, feed_scenario(), dvsync, dvsync ? 4 : 3);
+    AppLayer notif(sim, hw, dist, notification_scenario(), dvsync,
+                   dvsync ? 4 : 3);
+
+    hw.start();
+    feed.producer.start(0);
+    notif.producer.start(0);
+    sim.run_until(3_s + 200_ms);
+    hw.stop();
+
+    const char *mode = dvsync ? "D-VSync" : "VSync";
+    table.add_row({mode, "scrolling feed",
+                   TableReporter::num(feed.stats->fdps()),
+                   TableReporter::num(feed.stats->fps(), 1),
+                   TableReporter::num(feed.stats->mean_latency_ms(), 1)});
+    table.add_row({mode, "notification center",
+                   TableReporter::num(notif.stats->fdps()),
+                   TableReporter::num(notif.stats->fps(), 1),
+                   TableReporter::num(notif.stats->mean_latency_ms(), 1)});
+}
+
+} // namespace
+
+int
+main()
+{
+    print_section("Two apps on one display: a scrolling feed plus the "
+                  "notification center (60 Hz)");
+
+    TableReporter table(
+        {"architecture", "layer", "FDPS", "FPS", "latency ms"});
+    run_pair(false, table);
+    run_pair(true, table);
+    table.print();
+
+    std::printf("\nEach layer runs its own buffer queue and D-VSync "
+                "stack against the shared\nhardware VSync: the "
+                "notification center's heavy blur frames are absorbed\n"
+                "by its own accumulation without disturbing the feed's "
+                "pacing.\n");
+    return 0;
+}

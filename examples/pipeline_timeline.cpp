@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Example: render the paper's Figure 10 — the execution patterns of
+ * VSync vs D-VSync on the same series of workloads — as ASCII timelines.
+ *
+ * A periodic heavy key frame (the red frame of Fig. 10) produces janks
+ * in a row under VSync; under D-VSync the accumulated buffers ride
+ * across it and the display lane stays gapless.
+ *
+ * Usage: pipeline_timeline
+ */
+
+#include <cstdio>
+
+#include "core/render_system.h"
+#include "metrics/reporter.h"
+#include "metrics/timeline.h"
+#include "workload/frame_cost.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+namespace {
+
+void
+show(RenderMode mode)
+{
+    // Short frames ~40% of the period; slot 12 is a ~2.7-period monster.
+    auto cost = std::make_shared<PeriodicSpikeCostModel>(
+        FrameCost{1_ms, 6_ms}, FrameCost{2_ms, 43_ms}, 24, 12);
+    Scenario sc("fig10");
+    sc.animate(420_ms, cost);
+
+    SystemConfig cfg;
+    cfg.device = pixel5();
+    cfg.mode = mode;
+    cfg.buffers = mode == RenderMode::kDvsync ? 5 : 3;
+    RenderSystem sys(cfg, sc);
+    sys.run();
+
+    std::printf("\n--- %s (%d buffers): %llu frame drops ---\n",
+                to_string(mode), sys.buffers(),
+                (unsigned long long)sys.stats().frame_drops());
+    TimelineOptions opt;
+    opt.period = cfg.device.period();
+    opt.column = cfg.device.period() / 3;
+    std::fputs(render_timeline(sys.producer().records(),
+                               sys.stats().refreshes(), opt)
+                   .c_str(),
+               stdout);
+}
+
+} // namespace
+
+int
+main()
+{
+    print_section("Figure 10 execution patterns: the same workload under "
+                  "VSync and D-VSync (60 Hz)");
+    std::printf("\nSlot 12 is a heavily-loaded key frame (~2.7 periods "
+                "of render time).\n");
+    show(RenderMode::kVsync);
+    show(RenderMode::kDvsync);
+    std::printf("\nUnder VSync the display lane shows X's (janks in a "
+                "row) at the key frame; under\nD-VSync the accumulated "
+                "short frames in the queue lane cover the same stretch.\n");
+    return 0;
+}

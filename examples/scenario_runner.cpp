@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Example: run a scripted scenario under both architectures.
+ *
+ * Loads a scenario script (see workload/scenario_script.h for the
+ * format), runs it under VSync and D-VSync, prints the comparison, the
+ * ASCII pipeline timeline of the first segments, and optionally exports
+ * Chrome traces.
+ *
+ * Usage: scenario_runner [script.txt] [--trace prefix]
+ *        scenario_runner            (runs a built-in demo script)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/render_system.h"
+#include "metrics/reporter.h"
+#include "metrics/timeline.h"
+#include "workload/scenario_script.h"
+
+using namespace dvs;
+
+namespace {
+
+const char *kDemoScript = R"(# Built-in demo: a Mate-60-class device
+device mate60pro
+seed 7
+
+repeat 6
+  animate 350ms heavy_rate=6 heavy_min=1.3 heavy_max=2.6 label=fling
+  idle 150ms
+end
+
+interact pinch 800ms from=200 travel=350 noise=1.5 label=zoom
+realtime 400ms mean=0.5 heavy_rate=6 label=camera
+)";
+
+void
+report(const char *label, RenderSystem &sys, const std::string &trace)
+{
+    std::printf("\n--- %s ---\n", label);
+    std::printf("%s", sys.stats().summary().to_string().c_str());
+
+    TimelineOptions opt;
+    opt.period = sys.config().device.period();
+    opt.duration = 24 * opt.period;
+    std::printf("\nfirst %s of the run:\n",
+                format_time(opt.duration).c_str());
+    std::fputs(render_timeline(sys.producer().records(),
+                               sys.stats().refreshes(), opt)
+                   .c_str(),
+               stdout);
+
+    if (!trace.empty()) {
+        TraceLog log;
+        sys.export_trace(log);
+        const std::string path = trace + "_" + label + ".json";
+        if (log.save(path))
+            std::printf("Chrome trace written to %s\n", path.c_str());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string script_path;
+    std::string trace_prefix;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+            trace_prefix = argv[++i];
+        else
+            script_path = argv[i];
+    }
+
+    ScenarioScript script =
+        script_path.empty() ? parse_scenario_script(kDemoScript)
+                            : load_scenario_script(script_path);
+    if (!script.ok) {
+        std::fprintf(stderr, "scenario error (line %d): %s\n",
+                     script.error_line, script.error.c_str());
+        return 1;
+    }
+
+    print_section("Scenario: " + std::string(script_path.empty()
+                                                 ? "<built-in demo>"
+                                                 : script_path.c_str()));
+    std::printf("device %s at %g Hz, %zu segments, %s total\n",
+                script.device.name.c_str(), script.device.refresh_hz,
+                script.scenario.size(),
+                format_time(script.scenario.total_duration()).c_str());
+
+    for (RenderMode mode : {RenderMode::kVsync, RenderMode::kDvsync}) {
+        SystemConfig cfg;
+        cfg.device = script.device;
+        cfg.mode = mode;
+        cfg.seed = script.seed;
+        RenderSystem sys(cfg, script.scenario);
+        sys.run();
+        report(to_string(mode), sys, trace_prefix);
+    }
+    return 0;
+}

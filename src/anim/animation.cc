@@ -1,0 +1,33 @@
+#include "anim/animation.h"
+
+#include "sim/logging.h"
+
+namespace dvs {
+
+Animation::Animation(std::shared_ptr<const MotionCurve> curve, Time start,
+                     Time duration, double from_px, double to_px)
+    : curve_(std::move(curve)), start_(start), duration_(duration),
+      from_px_(from_px), to_px_(to_px)
+{
+    if (!curve_)
+        fatal("Animation needs a curve");
+    if (duration <= 0)
+        fatal("Animation duration must be positive");
+}
+
+double
+Animation::position_at(Time t) const
+{
+    const double f = double(t - start_) / double(duration_);
+    return from_px_ + (to_px_ - from_px_) * curve_->value(f);
+}
+
+double
+Animation::velocity_at(Time t) const
+{
+    const double f = double(t - start_) / double(duration_);
+    const double v_norm = curve_->velocity(f);
+    return v_norm * (to_px_ - from_px_) / to_seconds(duration_);
+}
+
+} // namespace dvs

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Animations: motion curves bound to a time window and a pixel range.
+ *
+ * An Animation converts a content timestamp into an on-screen position.
+ * The rendering pipeline records, for every displayed frame, the position
+ * that was *sampled* (at the frame's content timestamp) and the position
+ * that *should* be on screen at the actual present time — the difference
+ * is the animation-correctness error that the Display Time Virtualizer
+ * exists to eliminate (§4.4).
+ */
+
+#ifndef DVS_ANIM_ANIMATION_H
+#define DVS_ANIM_ANIMATION_H
+
+#include <memory>
+
+#include "anim/curves.h"
+#include "sim/time.h"
+
+namespace dvs {
+
+/** A motion curve playing over [start, start+duration] across a range. */
+class Animation
+{
+  public:
+    Animation(std::shared_ptr<const MotionCurve> curve, Time start,
+              Time duration, double from_px, double to_px);
+
+    Time start() const { return start_; }
+    Time duration() const { return duration_; }
+    Time end() const { return start_ + duration_; }
+
+    /** Whether the animation is running at @p t. */
+    bool active(Time t) const { return t >= start_ && t < end(); }
+
+    /** Position (px) the content should occupy at time @p t (clamped). */
+    double position_at(Time t) const;
+
+    /** Velocity (px/s) of the content at time @p t. */
+    double velocity_at(Time t) const;
+
+  private:
+    std::shared_ptr<const MotionCurve> curve_;
+    Time start_;
+    Time duration_;
+    double from_px_;
+    double to_px_;
+};
+
+} // namespace dvs
+
+#endif // DVS_ANIM_ANIMATION_H

@@ -1,0 +1,159 @@
+#include "anim/curves.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace dvs {
+namespace {
+
+double
+clamp01(double t)
+{
+    return std::clamp(t, 0.0, 1.0);
+}
+
+} // namespace
+
+double
+MotionCurve::velocity(double t) const
+{
+    // Central difference; subclasses with closed forms may override.
+    const double h = 1e-5;
+    const double lo = clamp01(t - h);
+    const double hi = clamp01(t + h);
+    if (hi == lo)
+        return 0.0;
+    return (value(hi) - value(lo)) / (hi - lo);
+}
+
+double
+LinearCurve::value(double t) const
+{
+    return clamp01(t);
+}
+
+CubicBezierCurve::CubicBezierCurve(double x1, double y1, double x2,
+                                   double y2)
+    : x1_(x1), y1_(y1), x2_(x2), y2_(y2)
+{
+    if (x1 < 0 || x1 > 1 || x2 < 0 || x2 > 1)
+        fatal("bezier x control points must lie in [0,1]");
+}
+
+double
+CubicBezierCurve::sample_x(double t) const
+{
+    // Cubic bezier with endpoints (0,0) and (1,1).
+    const double u = 1.0 - t;
+    return 3 * u * u * t * x1_ + 3 * u * t * t * x2_ + t * t * t;
+}
+
+double
+CubicBezierCurve::sample_y(double t) const
+{
+    const double u = 1.0 - t;
+    return 3 * u * u * t * y1_ + 3 * u * t * t * y2_ + t * t * t;
+}
+
+double
+CubicBezierCurve::solve_t_for_x(double x) const
+{
+    // Bisection: x(t) is monotone for x control points in [0,1].
+    double lo = 0.0, hi = 1.0;
+    for (int i = 0; i < 40; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (sample_x(mid) < x)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+CubicBezierCurve::value(double t) const
+{
+    t = clamp01(t);
+    if (t == 0.0 || t == 1.0)
+        return t;
+    return sample_y(solve_t_for_x(t));
+}
+
+SpringCurve::SpringCurve(double response) : response_(response)
+{
+    if (response <= 0)
+        fatal("spring response must be positive");
+    // Normalize so value(1) == 1 exactly.
+    norm_ = 1.0 - std::exp(-response_) * (1.0 + response_);
+}
+
+double
+SpringCurve::value(double t) const
+{
+    t = clamp01(t);
+    // Critically damped step response: 1 - e^{-wt}(1 + wt).
+    const double wt = response_ * t;
+    const double raw = 1.0 - std::exp(-wt) * (1.0 + wt);
+    return raw / norm_;
+}
+
+FlingCurve::FlingCurve(double friction) : friction_(friction)
+{
+    if (friction <= 0)
+        fatal("fling friction must be positive");
+    norm_ = 1.0 - std::exp(-friction_);
+}
+
+double
+FlingCurve::value(double t) const
+{
+    t = clamp01(t);
+    // Position under exponentially decaying velocity.
+    return (1.0 - std::exp(-friction_ * t)) / norm_;
+}
+
+OvershootCurve::OvershootCurve(double tension) : tension_(tension)
+{
+    if (tension < 0)
+        fatal("overshoot tension must be >= 0");
+}
+
+double
+OvershootCurve::value(double t) const
+{
+    t = clamp01(t) - 1.0;
+    return t * t * ((tension_ + 1.0) * t + tension_) + 1.0;
+}
+
+AnticipateCurve::AnticipateCurve(double tension) : tension_(tension)
+{
+    if (tension < 0)
+        fatal("anticipate tension must be >= 0");
+}
+
+double
+AnticipateCurve::value(double t) const
+{
+    t = clamp01(t);
+    return t * t * ((tension_ + 1.0) * t - tension_);
+}
+
+std::shared_ptr<const MotionCurve>
+ease_in_out()
+{
+    static const auto curve =
+        std::make_shared<CubicBezierCurve>(0.42, 0.0, 0.58, 1.0);
+    return curve;
+}
+
+std::shared_ptr<const MotionCurve>
+ease_out()
+{
+    static const auto curve =
+        std::make_shared<CubicBezierCurve>(0.0, 0.0, 0.58, 1.0);
+    return curve;
+}
+
+} // namespace dvs

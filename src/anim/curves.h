@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Motion curves used by UI animations.
+ *
+ * Animations sample a motion curve at the frame's content timestamp to
+ * place content on screen (§4.4: "Animations use the D-Timestamp to
+ * sample motion curves for list flinging, app opening, page transition,
+ * screen rotation, etc."). The library provides the standard curve
+ * families of mobile UI frameworks: cubic-bezier easings, critically
+ * damped springs, and friction-based fling/deceleration curves.
+ */
+
+#ifndef DVS_ANIM_CURVES_H
+#define DVS_ANIM_CURVES_H
+
+#include <memory>
+
+#include "sim/time.h"
+
+namespace dvs {
+
+/**
+ * A motion curve: normalized progress as a function of normalized time.
+ *
+ * value(0) == 0 and value(1) == 1 for curves that settle; inputs outside
+ * [0, 1] are clamped.
+ */
+class MotionCurve
+{
+  public:
+    virtual ~MotionCurve() = default;
+
+    /** Progress in [0, 1] at normalized time @p t in [0, 1]. */
+    virtual double value(double t) const = 0;
+
+    /** Instantaneous normalized velocity d(value)/dt at @p t. */
+    virtual double velocity(double t) const;
+};
+
+/** Linear ramp. */
+class LinearCurve : public MotionCurve
+{
+  public:
+    double value(double t) const override;
+};
+
+/**
+ * Cubic bezier easing with control points (x1,y1), (x2,y2) — the CSS /
+ * Android PathInterpolator parameterization. The classic "ease-in-out" is
+ * (0.42, 0, 0.58, 1); OpenHarmony's friction curve is (0.2, 0, 0.2, 1).
+ */
+class CubicBezierCurve : public MotionCurve
+{
+  public:
+    CubicBezierCurve(double x1, double y1, double x2, double y2);
+
+    double value(double t) const override;
+
+  private:
+    double solve_t_for_x(double x) const;
+    double sample_x(double t) const;
+    double sample_y(double t) const;
+
+    double x1_, y1_, x2_, y2_;
+};
+
+/**
+ * Critically damped spring settling over the curve's duration; the
+ * physics-based animation style of modern smartphone UIs.
+ */
+class SpringCurve : public MotionCurve
+{
+  public:
+    /** @param response stiffness knob: larger settles faster. */
+    explicit SpringCurve(double response = 8.0);
+
+    double value(double t) const override;
+
+  private:
+    double response_;
+    double norm_;
+};
+
+/**
+ * Fling deceleration: exponential decay of velocity under friction, the
+ * curve behind list scrolling after a flick.
+ */
+class FlingCurve : public MotionCurve
+{
+  public:
+    /** @param friction decay rate; larger stops sooner. */
+    explicit FlingCurve(double friction = 4.0);
+
+    double value(double t) const override;
+
+  private:
+    double friction_;
+    double norm_;
+};
+
+/**
+ * Overshoot: accelerates past the target and springs back — the Android
+ * OvershootInterpolator used by bouncy card/dialog entrances.
+ */
+class OvershootCurve : public MotionCurve
+{
+  public:
+    /** @param tension overshoot amount; 2.0 matches the platform feel. */
+    explicit OvershootCurve(double tension = 2.0);
+
+    double value(double t) const override;
+
+  private:
+    double tension_;
+};
+
+/**
+ * Anticipate: pulls back before launching forward (the Android
+ * AnticipateInterpolator); value dips below zero near the start.
+ */
+class AnticipateCurve : public MotionCurve
+{
+  public:
+    explicit AnticipateCurve(double tension = 2.0);
+
+    double value(double t) const override;
+
+  private:
+    double tension_;
+};
+
+/** Standard ease-in-out bezier (0.42, 0, 0.58, 1). */
+std::shared_ptr<const MotionCurve> ease_in_out();
+
+/** Standard ease-out bezier (0, 0, 0.58, 1). */
+std::shared_ptr<const MotionCurve> ease_out();
+
+} // namespace dvs
+
+#endif // DVS_ANIM_CURVES_H

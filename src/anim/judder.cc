@@ -1,0 +1,48 @@
+#include "anim/judder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dvs {
+
+JudderReport
+score_playback(const Animation &anim,
+               const std::vector<DisplayedFrame> &frames)
+{
+    JudderReport report;
+
+    // The architecture's constant pipeline lag is not judder: compensate
+    // the median content lag before scoring.
+    std::vector<Time> lags;
+    lags.reserve(frames.size());
+    for (const DisplayedFrame &f : frames)
+        lags.push_back(f.present_time - f.content_timestamp);
+    if (!lags.empty()) {
+        std::nth_element(lags.begin(), lags.begin() + lags.size() / 2,
+                         lags.end());
+        report.content_offset = lags[lags.size() / 2];
+    }
+
+    double prev_pos = 0.0;
+    bool have_prev = false;
+
+    for (const DisplayedFrame &f : frames) {
+        const double shown = anim.position_at(f.content_timestamp);
+        const double ideal =
+            anim.position_at(f.present_time - report.content_offset);
+        const double err = std::abs(shown - ideal);
+        report.position_error_px.add(err);
+        report.max_error_px = std::max(report.max_error_px, err);
+
+        if (have_prev)
+            report.step_px.add(std::abs(shown - prev_pos));
+        prev_pos = shown;
+        have_prev = true;
+    }
+
+    report.step_jitter_px = report.step_px.stddev();
+    return report;
+}
+
+} // namespace dvs

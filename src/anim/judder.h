@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Judder metric: animation-correctness scoring.
+ *
+ * For each displayed frame we know the timestamp the content was computed
+ * for (content_ts) and the time it actually reached the screen (present).
+ * Given the animation being played, the *position error* of the frame is
+ * |position(content_ts) − position(present)| — how far the on-screen
+ * content is from where a perfectly timed frame would be. VSync frames
+ * rendered late or displayed after buffer stuffing show large errors;
+ * DTV-virtualized frames show near-zero errors (§4.4: "animations never
+ * appear fast in accumulation or slow down in long frames").
+ */
+
+#ifndef DVS_ANIM_JUDDER_H
+#define DVS_ANIM_JUDDER_H
+
+#include <vector>
+
+#include "anim/animation.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace dvs {
+
+/** One displayed frame of an animation, for scoring. */
+struct DisplayedFrame {
+    Time content_timestamp; ///< what the frame sampled
+    Time present_time;      ///< when it hit the screen
+};
+
+/** Aggregate judder statistics of an animation playback. */
+struct JudderReport {
+    /**
+     * |pos(content) − pos(present − offset)| per refresh, where offset is
+     * the playback's median content lag. A constant pipeline lag (VSync's
+     * uniform 2 periods) scores zero; frames that sampled the wrong time
+     * relative to when they reached the screen (drops, buffer stuffing
+     * without DTV) show up as error.
+     */
+    SampleStat position_error_px;
+    SampleStat step_px; ///< inter-frame on-screen motion step
+    double max_error_px = 0.0;
+    /** Std-dev of motion steps: non-uniform pacing reads as judder. */
+    double step_jitter_px = 0.0;
+    /** The compensated constant lag (median present − content). */
+    Time content_offset = 0;
+};
+
+/**
+ * Score a playback: @p frames must be ordered by present time; repeats
+ * (same content shown again) are included by passing the same
+ * content_timestamp with a later present_time.
+ */
+JudderReport score_playback(const Animation &anim,
+                            const std::vector<DisplayedFrame> &frames);
+
+} // namespace dvs
+
+#endif // DVS_ANIM_JUDDER_H

@@ -1,0 +1,141 @@
+#include "buffer/buffer_queue.h"
+
+#include <cassert>
+
+#include "sim/logging.h"
+
+namespace dvs {
+
+BufferQueue::BufferQueue(int capacity) : capacity_(capacity)
+{
+    if (capacity < 2)
+        fatal("BufferQueue needs at least 2 slots (front + back), got %d",
+              capacity);
+    for (int i = 0; i < capacity; ++i)
+        make_slot();
+}
+
+void
+BufferQueue::make_slot()
+{
+    slots_.push_back(std::make_unique<FrameBuffer>(int(slots_.size())));
+    free_.push_back(slots_.back().get());
+}
+
+int
+BufferQueue::dequeued_count() const
+{
+    int n = 0;
+    for (const auto &s : slots_) {
+        if (s->state() == BufferState::kDequeued)
+            ++n;
+    }
+    return n;
+}
+
+FrameBuffer *
+BufferQueue::try_dequeue(Time now)
+{
+    if (free_.empty())
+        return nullptr;
+    FrameBuffer *buf = free_.front();
+    free_.pop_front();
+    assert(buf->state_ == BufferState::kFree);
+    buf->state_ = BufferState::kDequeued;
+    buf->dequeue_time_ = now;
+    buf->queue_time_ = kTimeNone;
+    buf->latch_time_ = kTimeNone;
+    buf->meta_ = FrameMeta{};
+    return buf;
+}
+
+void
+BufferQueue::queue(FrameBuffer *buf, Time now)
+{
+    assert(buf && buf->state_ == BufferState::kDequeued);
+    buf->state_ = BufferState::kQueued;
+    buf->queue_time_ = now;
+    queued_.push_back(buf);
+}
+
+void
+BufferQueue::cancel(FrameBuffer *buf)
+{
+    assert(buf && buf->state_ == BufferState::kDequeued);
+    release_to_free(buf);
+}
+
+FrameBuffer *
+BufferQueue::acquire(Time now)
+{
+    if (queued_.empty())
+        return nullptr;
+    FrameBuffer *next = queued_.front();
+    queued_.pop_front();
+    assert(next->state_ == BufferState::kQueued);
+
+    FrameBuffer *old = front_;
+    front_ = next;
+    next->state_ = BufferState::kFront;
+    next->latch_time_ = now;
+
+    if (old) {
+        assert(old->state_ == BufferState::kFront);
+        release_to_free(old);
+    }
+    return next;
+}
+
+void
+BufferQueue::release_to_free(FrameBuffer *buf)
+{
+    if (pending_shrink_ > 0) {
+        // A shrink request retires slots as they free up instead of
+        // yanking buffers out from under the producer or the screen.
+        --pending_shrink_;
+        buf->state_ = BufferState::kFree;
+        for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+            if (it->get() == buf) {
+                slots_.erase(it);
+                break;
+            }
+        }
+        return;
+    }
+    buf->state_ = BufferState::kFree;
+    free_.push_back(buf);
+    if (on_free_)
+        on_free_();
+}
+
+void
+BufferQueue::set_capacity(int capacity)
+{
+    if (capacity < 2)
+        fatal("BufferQueue capacity must be >= 2, got %d", capacity);
+    pending_shrink_ = 0;
+    while (int(slots_.size()) < capacity) {
+        make_slot();
+        if (on_free_)
+            on_free_();
+    }
+    if (int(slots_.size()) > capacity) {
+        int excess = int(slots_.size()) - capacity;
+        // Retire free slots immediately; the remainder lazily.
+        while (excess > 0 && !free_.empty()) {
+            FrameBuffer *buf = free_.back();
+            free_.pop_back();
+            for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+                if (it->get() == buf) {
+                    slots_.erase(it);
+                    break;
+                }
+            }
+            --excess;
+        }
+        pending_shrink_ = excess;
+    }
+    capacity_ = capacity;
+}
+
+} // namespace dvs

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * FIFO buffer queue between the rendering pipeline and the screen.
+ *
+ * Mirrors the producer/consumer model of §2: the producer dequeues a free
+ * slot, renders into it, and queues it; the screen acquires queued buffers
+ * in FIFO order, one per refresh, releasing the previously displayed
+ * buffer. Capacity is configurable: VSync triple buffering uses 3 slots,
+ * D-VSync enlarges the queue (the paper's default is 4, up to 7 in the
+ * Fig. 11 sweep).
+ */
+
+#ifndef DVS_BUFFER_BUFFER_QUEUE_H
+#define DVS_BUFFER_BUFFER_QUEUE_H
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "buffer/frame_buffer.h"
+#include "sim/time.h"
+
+namespace dvs {
+
+/**
+ * A fixed-capacity FIFO queue of frame buffers.
+ *
+ * Invariants (checked in debug builds and by the test suite):
+ *  - exactly @c capacity slots exist at all times, partitioned among
+ *    free / dequeued / queued / front;
+ *  - at most one slot is in the kFront state;
+ *  - buffers are acquired in exactly the order they were queued.
+ */
+class BufferQueue
+{
+  public:
+    /** @param capacity total slot count (1 front + capacity-1 back). */
+    explicit BufferQueue(int capacity);
+
+    int capacity() const { return capacity_; }
+
+    /** Slots available for the producer to render into. */
+    int free_count() const { return int(free_.size()); }
+
+    /** Rendered frames waiting to be displayed. */
+    int queued_count() const { return int(queued_.size()); }
+
+    /** Slots currently held by the producer. */
+    int dequeued_count() const;
+
+    /**
+     * Producer side: take a free slot for rendering.
+     * @return nullptr when no slot is free (producer must wait).
+     */
+    FrameBuffer *try_dequeue(Time now);
+
+    /**
+     * Producer side: submit a rendered buffer to the FIFO.
+     * @pre buf was obtained from try_dequeue() and not yet queued.
+     */
+    void queue(FrameBuffer *buf, Time now);
+
+    /**
+     * Producer side: return a dequeued slot unrendered (e.g. a cancelled
+     * frame). The slot becomes free again.
+     */
+    void cancel(FrameBuffer *buf);
+
+    /**
+     * Consumer side: latch the oldest queued buffer for display and
+     * release the previously displayed buffer (if any) back to the free
+     * list.
+     * @return nullptr when nothing is queued (the screen repeats the
+     *         previous frame).
+     */
+    FrameBuffer *acquire(Time now);
+
+    /** The buffer currently on screen (nullptr before the first latch). */
+    FrameBuffer *front() const { return front_; }
+
+    /** Peek the next buffer that acquire() would return. */
+    FrameBuffer *peek_queued() const
+    {
+        return queued_.empty() ? nullptr : queued_.front();
+    }
+
+    /**
+     * Register a callback invoked whenever a slot becomes free (after
+     * acquire() releases the old front, or cancel()). Used by producers
+     * blocked on a full queue.
+     */
+    void on_slot_free(std::function<void()> cb) { on_free_ = std::move(cb); }
+
+    /**
+     * Grow or shrink the total capacity at runtime (decoupling-aware API:
+     * pre-render limit reconfiguration). Shrinking below the number of
+     * in-use slots takes effect lazily as buffers free up.
+     */
+    void set_capacity(int capacity);
+
+    /** All slots, for tests and introspection. */
+    const std::vector<std::unique_ptr<FrameBuffer>> &slots() const
+    {
+        return slots_;
+    }
+
+  private:
+    void make_slot();
+    void release_to_free(FrameBuffer *buf);
+
+    int capacity_;
+    std::vector<std::unique_ptr<FrameBuffer>> slots_;
+    std::deque<FrameBuffer *> free_;
+    std::deque<FrameBuffer *> queued_;
+    FrameBuffer *front_ = nullptr;
+    std::function<void()> on_free_;
+    int pending_shrink_ = 0;
+};
+
+} // namespace dvs
+
+#endif // DVS_BUFFER_BUFFER_QUEUE_H

@@ -1,0 +1,21 @@
+#include "buffer/frame_buffer.h"
+
+namespace dvs {
+
+const char *
+to_string(BufferState s)
+{
+    switch (s) {
+      case BufferState::kFree:
+        return "free";
+      case BufferState::kDequeued:
+        return "dequeued";
+      case BufferState::kQueued:
+        return "queued";
+      case BufferState::kFront:
+        return "front";
+    }
+    return "?";
+}
+
+} // namespace dvs

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Configuration of the D-VSync architecture.
+ */
+
+#ifndef DVS_CORE_DVSYNC_CONFIG_H
+#define DVS_CORE_DVSYNC_CONFIG_H
+
+#include "sim/time.h"
+
+namespace dvs {
+
+/** Tunables of the D-VSync core modules. */
+struct DvsyncConfig {
+    /**
+     * Pre-rendering limit: maximum frames allowed ahead of the display
+     * (queued + in production). The paper's OpenHarmony deployment allows
+     * at most 3 back buffers for pre-rendering (§5.1); the Fig. 11 sweep
+     * maps "D-VSync N bufs" to a queue of N slots with a limit of N − 2.
+     */
+    int prerender_limit = 3;
+
+    /**
+     * Nominal depth of the rendering pipeline in refresh periods: the lag
+     * between a frame's timeline slot and its present (§2: "the
+     * end-to-end rendering procedure usually spans at least two VSync
+     * periods").
+     */
+    int pipeline_depth = 2;
+
+    /**
+     * DTV calibration interval: resample the hardware vsync into the
+     * timing model every N edges ("calibrates the issued D-Timestamp
+     * every few frames", §5.1). 1 = every edge.
+     */
+    int calibration_interval = 1;
+
+    /**
+     * UI-stage cost added to frames that run a registered input
+     * predictor (the map app's ZDP measures 151.6 µs, §6.5).
+     */
+    Time predictor_overhead = 151'600;
+
+    /** Validate and return a normalized copy. */
+    DvsyncConfig normalized() const;
+};
+
+/** Derive the pre-render limit for a queue of @p buffers slots. */
+int prerender_limit_for_buffers(int buffers);
+
+} // namespace dvs
+
+#endif // DVS_CORE_DVSYNC_CONFIG_H

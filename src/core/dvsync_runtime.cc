@@ -1,0 +1,99 @@
+#include "core/dvsync_runtime.h"
+
+#include "core/frame_pre_executor.h"
+#include "sim/logging.h"
+
+namespace dvs {
+
+DvsyncRuntime::DvsyncRuntime(const DvsyncConfig &config)
+    : config_(config.normalized())
+{
+}
+
+void
+DvsyncRuntime::bind(Producer &producer, DisplayTimeVirtualizer &dtv,
+                    FramePreExecutor &fpe, BufferQueue &queue)
+{
+    producer_ = &producer;
+    dtv_ = &dtv;
+    fpe_ = &fpe;
+    queue_ = &queue;
+
+    // Interactive frames sample input through the IPL when a predictor
+    // is registered; otherwise they render the latest known input, just
+    // like the conventional framework.
+    producer.set_content_sampler([this](const SampleContext &ctx) {
+        const Segment &seg = *ctx.segment;
+        if (seg.touch && enabled_ && ipl_.has(seg.label)) {
+            return ipl_.predict(seg.label, *seg.touch, ctx.now_rel,
+                                ctx.content_rel);
+        }
+        if (seg.touch) {
+            const TouchEvent *ev = seg.touch->latest_at(ctx.now_rel);
+            if (ev)
+                return touch_value(*ev);
+        }
+        return 0.0;
+    });
+
+    // Predictor fitting costs UI-thread time (§6.5: ZDP's 151.6 µs).
+    producer.set_extra_ui_cost(
+        [this](const Segment &seg, const FrameRecord &) -> Time {
+            if (seg.kind == SegmentKind::kInteraction && enabled_ &&
+                ipl_.has(seg.label)) {
+                return config_.predictor_overhead;
+            }
+            return 0;
+        });
+}
+
+bool
+DvsyncRuntime::can_decouple(const Segment &seg) const
+{
+    if (!enabled_)
+        return false;
+    switch (seg.kind) {
+      case SegmentKind::kAnimation:
+        return true; // deterministic: oblivious channel
+      case SegmentKind::kInteraction:
+        return ipl_.has(seg.label); // aware channel via IPL
+      case SegmentKind::kRealtime:
+      case SegmentKind::kIdle:
+        return false;
+    }
+    return false;
+}
+
+void
+DvsyncRuntime::register_predictor(const std::string &label,
+                                  std::shared_ptr<const InputPredictor> p)
+{
+    ipl_.register_predictor(label, std::move(p));
+}
+
+void
+DvsyncRuntime::set_prerender_limit(int limit)
+{
+    if (!fpe_ || !queue_)
+        fatal("set_prerender_limit before bind()");
+    fpe_->set_prerender_limit(limit);
+    queue_->set_capacity(limit + 2);
+    config_.prerender_limit = limit;
+}
+
+int
+DvsyncRuntime::prerender_limit() const
+{
+    return fpe_ ? fpe_->prerender_limit() : config_.prerender_limit;
+}
+
+Time
+DvsyncRuntime::query_display_time() const
+{
+    if (!dtv_ || !producer_)
+        fatal("query_display_time before bind()");
+    const int ahead = queue_->queued_count() + producer_->in_flight();
+    return dtv_->peek_next(ahead);
+}
+
+} // namespace dvs

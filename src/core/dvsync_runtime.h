@@ -1,0 +1,105 @@
+/**
+ * @file
+ * D-VSync runtime controller and dual-channel decoupling APIs (§4.5).
+ *
+ * The runtime is the switchboard between the OS rendering framework and
+ * the D-VSync modules:
+ *
+ *  - Decoupling-oblivious channel: unmodified apps get pre-rendering for
+ *    framework-tagged deterministic animations automatically; the runtime
+ *    decides per segment whether decoupling applies.
+ *
+ *  - Decoupling-aware channel: apps that bypass the OS framework (games,
+ *    browsers, maps) use the exposed capabilities — (1) registering input
+ *    predictors on the IPL for interactive scenarios, (2) configuring the
+ *    pre-rendering limit, (3) retrieving the frame display time, and
+ *    (4) switching D-VSync on/off at runtime.
+ */
+
+#ifndef DVS_CORE_DVSYNC_RUNTIME_H
+#define DVS_CORE_DVSYNC_RUNTIME_H
+
+#include <memory>
+#include <string>
+
+#include "buffer/buffer_queue.h"
+#include "core/display_time_virtualizer.h"
+#include "core/dvsync_config.h"
+#include "core/input_prediction_layer.h"
+#include "pipeline/producer.h"
+
+namespace dvs {
+
+class FramePreExecutor;
+
+/**
+ * Runtime controller + public API surface of D-VSync.
+ */
+class DvsyncRuntime
+{
+  public:
+    explicit DvsyncRuntime(const DvsyncConfig &config);
+
+    /**
+     * Wire the runtime to the pipeline. Installs the IPL content sampler
+     * and predictor-overhead hook on the producer.
+     */
+    void bind(Producer &producer, DisplayTimeVirtualizer &dtv,
+              FramePreExecutor &fpe, BufferQueue &queue);
+
+    // ----- runtime switch (API capability 4) ---------------------------
+
+    bool enabled() const { return enabled_; }
+    void set_enabled(bool on) { enabled_ = on; }
+
+    // ----- decoupling decision (oblivious channel) ----------------------
+
+    /**
+     * Whether decoupled pre-rendering applies to @p seg: deterministic
+     * animations always; interactions only with a registered predictor;
+     * real-time content never (§4.2).
+     */
+    bool can_decouple(const Segment &seg) const;
+
+    // ----- IPL (API capability 1) ---------------------------------------
+
+    InputPredictionLayer &ipl() { return ipl_; }
+    const InputPredictionLayer &ipl() const { return ipl_; }
+
+    /** Register a predictor for interaction segments labelled @p label. */
+    void register_predictor(const std::string &label,
+                            std::shared_ptr<const InputPredictor> p);
+
+    // ----- pre-rendering limit (API capability 2) ------------------------
+
+    /**
+     * Reconfigure the pre-rendering limit; the buffer queue is resized to
+     * limit + 2 slots to hold the accumulated frames.
+     */
+    void set_prerender_limit(int limit);
+    int prerender_limit() const;
+
+    // ----- frame display time (API capability 3) --------------------------
+
+    /**
+     * The display timestamp the next frame would receive — what a
+     * custom-rendering app samples its own animations with.
+     */
+    Time query_display_time() const;
+
+    const DvsyncConfig &config() const { return config_; }
+
+  private:
+    DvsyncConfig config_;
+    bool enabled_ = true;
+    InputPredictionLayer ipl_;
+
+    Producer *producer_ = nullptr;
+    DisplayTimeVirtualizer *dtv_ = nullptr;
+    FramePreExecutor *fpe_ = nullptr;
+    BufferQueue *queue_ = nullptr;
+};
+
+} // namespace dvs
+
+#endif // DVS_CORE_DVSYNC_RUNTIME_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Frame Pre-Executor (FPE, §4.3).
+ *
+ * The FPE performs decoupled pre-rendering: when the previous frame's UI
+ * stage finishes and the scenario is deterministic (or covered by a
+ * registered input predictor), it posts the D-VSync event that starts the
+ * next frame immediately — ahead of the screen's VSync — with a
+ * D-Timestamp obtained from the Display Time Virtualizer.
+ *
+ * It runs the two-stage state machine of Fig. 10:
+ *  - Accumulation stage: frames chain back-to-back while the buffer queue
+ *    has room below the pre-rendering limit, banking the idle time of
+ *    short frames.
+ *  - Sync stage: at the limit, frame starts re-align with the display —
+ *    each latch frees a slot and immediately triggers the next frame.
+ *
+ * Scenarios that cannot be decoupled (real-time content, interactions
+ * without a predictor) fall back to the conventional VSync path through
+ * the runtime controller.
+ */
+
+#ifndef DVS_CORE_FRAME_PRE_EXECUTOR_H
+#define DVS_CORE_FRAME_PRE_EXECUTOR_H
+
+#include <cstdint>
+
+#include "buffer/buffer_queue.h"
+#include "core/display_time_virtualizer.h"
+#include "core/dvsync_config.h"
+#include "display/panel.h"
+#include "pipeline/producer.h"
+
+namespace dvs {
+
+class DvsyncRuntime;
+
+/** Execution stage of the FPE (Fig. 10). */
+enum class FpeStage {
+    kAccumulation,
+    kSync,
+};
+
+const char *to_string(FpeStage s);
+
+/**
+ * The D-VSync frame pacer.
+ */
+class FramePreExecutor : public FramePacer
+{
+  public:
+    /**
+     * @param panel sync-stage frame starts align with its present fence
+     *        ("FPE triggers the execution of every frame in alignment
+     *        with the screen display", §4.3)
+     */
+    FramePreExecutor(DisplayTimeVirtualizer &dtv, BufferQueue &queue,
+                     Panel &panel, DvsyncRuntime &runtime,
+                     const DvsyncConfig &config);
+
+    // ----- FramePacer -----------------------------------------------
+
+    const char *name() const override { return "d-vsync"; }
+    void on_segment_start(int segment_index) override;
+    void on_ui_complete(const FrameRecord &rec) override;
+    bool align_render(const FrameRecord &rec) const override
+    {
+        return !rec.pre_rendered;
+    }
+    Time vsync_content_timestamp(Time edge) const override;
+
+    // ----- introspection ----------------------------------------------
+
+    FpeStage stage() const { return stage_; }
+
+    /** Frames started ahead of VSync. */
+    std::uint64_t pre_rendered_frames() const { return pre_rendered_; }
+
+    /** Frames that fell back to the VSync path. */
+    std::uint64_t fallback_frames() const { return fallbacks_; }
+
+    /** Transitions into the sync stage. */
+    std::uint64_t sync_entries() const { return sync_entries_; }
+
+    int prerender_limit() const { return config_.prerender_limit; }
+    void set_prerender_limit(int limit);
+
+  private:
+    void maybe_pre_render();
+    void set_stage(FpeStage stage);
+    int frames_ahead() const;
+    int accumulated() const;
+
+    DisplayTimeVirtualizer &dtv_;
+    BufferQueue &queue_;
+    DvsyncRuntime &runtime_;
+    DvsyncConfig config_;
+
+    FpeStage stage_ = FpeStage::kAccumulation;
+    bool waiting_for_slot_ = false;
+    std::uint64_t pre_rendered_ = 0;
+    std::uint64_t fallbacks_ = 0;
+    std::uint64_t sync_entries_ = 0;
+};
+
+} // namespace dvs
+
+#endif // DVS_CORE_FRAME_PRE_EXECUTOR_H

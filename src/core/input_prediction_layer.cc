@@ -1,0 +1,170 @@
+#include "core/input_prediction_layer.h"
+
+#include <array>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace dvs {
+namespace {
+
+/** Gather the (t_seconds, value) points of the fitting window. */
+std::vector<std::pair<double, double>>
+fit_points(const TouchStream &stream, Time now, Time window)
+{
+    std::vector<std::pair<double, double>> pts;
+    for (const TouchEvent &ev : stream.window(now - window, now))
+        pts.emplace_back(to_seconds(ev.timestamp - now), touch_value(ev));
+    return pts;
+}
+
+double
+last_value(const TouchStream &stream, Time now)
+{
+    const TouchEvent *ev = stream.latest_at(now);
+    return ev ? touch_value(*ev) : 0.0;
+}
+
+/**
+ * Solve a symmetric 3x3 system via Gaussian elimination; returns false
+ * when singular.
+ */
+bool
+solve3(std::array<std::array<double, 3>, 3> a, std::array<double, 3> &b)
+{
+    for (int col = 0; col < 3; ++col) {
+        int pivot = col;
+        for (int r = col + 1; r < 3; ++r) {
+            if (std::abs(a[r][col]) > std::abs(a[pivot][col]))
+                pivot = r;
+        }
+        if (std::abs(a[pivot][col]) < 1e-12)
+            return false;
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        for (int r = 0; r < 3; ++r) {
+            if (r == col)
+                continue;
+            const double f = a[r][col] / a[col][col];
+            for (int c = col; c < 3; ++c)
+                a[r][c] -= f * a[col][c];
+            b[r] -= f * b[col];
+        }
+    }
+    for (int i = 0; i < 3; ++i)
+        b[i] /= a[i][i];
+    return true;
+}
+
+} // namespace
+
+double
+LastValuePredictor::predict(const TouchStream &stream, Time now,
+                            Time) const
+{
+    return last_value(stream, now);
+}
+
+LinearPredictor::LinearPredictor(Time window) : window_(window)
+{
+    if (window <= 0)
+        fatal("predictor window must be positive");
+}
+
+double
+LinearPredictor::predict(const TouchStream &stream, Time now,
+                         Time target) const
+{
+    const auto pts = fit_points(stream, now, window_);
+    if (pts.size() < 2)
+        return last_value(stream, now);
+
+    // Ordinary least squares y = a + b t (t relative to `now`).
+    double st = 0, sy = 0, stt = 0, sty = 0;
+    for (const auto &[t, y] : pts) {
+        st += t;
+        sy += y;
+        stt += t * t;
+        sty += t * y;
+    }
+    const double n = double(pts.size());
+    const double denom = n * stt - st * st;
+    if (std::abs(denom) < 1e-12)
+        return last_value(stream, now);
+    const double b = (n * sty - st * sy) / denom;
+    const double a = (sy - b * st) / n;
+    return a + b * to_seconds(target - now);
+}
+
+QuadraticPredictor::QuadraticPredictor(Time window) : window_(window)
+{
+    if (window <= 0)
+        fatal("predictor window must be positive");
+}
+
+double
+QuadraticPredictor::predict(const TouchStream &stream, Time now,
+                            Time target) const
+{
+    const auto pts = fit_points(stream, now, window_);
+    if (pts.size() < 3) {
+        return LinearPredictor(window_).predict(stream, now, target);
+    }
+
+    // Normal equations for y = c0 + c1 t + c2 t^2.
+    double s[5] = {0, 0, 0, 0, 0};
+    double r[3] = {0, 0, 0};
+    for (const auto &[t, y] : pts) {
+        double p = 1.0;
+        for (int k = 0; k < 5; ++k) {
+            s[k] += p;
+            if (k < 3)
+                r[k] += p * y;
+            p *= t;
+        }
+    }
+    std::array<std::array<double, 3>, 3> a{{{s[0], s[1], s[2]},
+                                            {s[1], s[2], s[3]},
+                                            {s[2], s[3], s[4]}}};
+    std::array<double, 3> b{r[0], r[1], r[2]};
+    if (!solve3(a, b))
+        return LinearPredictor(window_).predict(stream, now, target);
+    const double dt = to_seconds(target - now);
+    return b[0] + b[1] * dt + b[2] * dt * dt;
+}
+
+void
+InputPredictionLayer::register_predictor(
+    const std::string &label, std::shared_ptr<const InputPredictor> p)
+{
+    if (!p)
+        fatal("cannot register a null predictor for '%s'", label.c_str());
+    registry_[label] = std::move(p);
+}
+
+void
+InputPredictionLayer::unregister_predictor(const std::string &label)
+{
+    registry_.erase(label);
+}
+
+const InputPredictor *
+InputPredictionLayer::find(const std::string &label) const
+{
+    auto it = registry_.find(label);
+    return it == registry_.end() ? nullptr : it->second.get();
+}
+
+double
+InputPredictionLayer::predict(const std::string &label,
+                              const TouchStream &stream, Time now,
+                              Time target)
+{
+    const InputPredictor *p = find(label);
+    if (!p)
+        panic("no predictor registered for '%s'", label.c_str());
+    ++predictions_;
+    return p->predict(stream, now, target);
+}
+
+} // namespace dvs

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Input Prediction Layer (IPL, §4.6).
+ *
+ * During continuous interactions (a fingertip on the screen) D-VSync
+ * executes frames several vsync periods before display, so the input
+ * state that will hold at display time does not exist yet. The IPL
+ * corrects the current input status to the anticipated status at the
+ * frame's D-Timestamp through curve fitting. Apps register predictors per
+ * interaction label through the decoupling-aware APIs — e.g. the map app
+ * registers a linear Zooming Distance Predictor (ZDP) for its pinch
+ * gesture (§6.5).
+ */
+
+#ifndef DVS_CORE_INPUT_PREDICTION_LAYER_H
+#define DVS_CORE_INPUT_PREDICTION_LAYER_H
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "input/touch_event.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace dvs {
+
+/**
+ * A fitted input predictor. predict() sees the event history up to the
+ * execution time and extrapolates the salient value (touch_value) to the
+ * target display time.
+ */
+class InputPredictor
+{
+  public:
+    virtual ~InputPredictor() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Predict the input value at @p target given events up to @p now.
+     * Times are relative to the gesture's stream.
+     */
+    virtual double predict(const TouchStream &stream, Time now,
+                           Time target) const = 0;
+};
+
+/** Baseline: repeat the latest observed value (what VSync renders). */
+class LastValuePredictor : public InputPredictor
+{
+  public:
+    const char *name() const override { return "last-value"; }
+    double predict(const TouchStream &stream, Time now,
+                   Time target) const override;
+};
+
+/**
+ * Least-squares line over a trailing window — the paper's ZDP: "a linear
+ * line fitting of current (and historical) data of the distance".
+ */
+class LinearPredictor : public InputPredictor
+{
+  public:
+    /** @param window history length used for the fit. */
+    explicit LinearPredictor(Time window = 80'000'000);
+
+    const char *name() const override { return "linear"; }
+    double predict(const TouchStream &stream, Time now,
+                   Time target) const override;
+
+  private:
+    Time window_;
+};
+
+/** Least-squares quadratic over a trailing window (captures curvature). */
+class QuadraticPredictor : public InputPredictor
+{
+  public:
+    explicit QuadraticPredictor(Time window = 120'000'000);
+
+    const char *name() const override { return "quadratic"; }
+    double predict(const TouchStream &stream, Time now,
+                   Time target) const override;
+
+  private:
+    Time window_;
+};
+
+/**
+ * The registry of per-interaction predictors plus prediction accounting.
+ */
+class InputPredictionLayer
+{
+  public:
+    /** Register a predictor for interaction segments labelled @p label. */
+    void register_predictor(const std::string &label,
+                            std::shared_ptr<const InputPredictor> p);
+
+    /** Remove a registration. */
+    void unregister_predictor(const std::string &label);
+
+    /** @return nullptr when no predictor covers @p label. */
+    const InputPredictor *find(const std::string &label) const;
+
+    bool has(const std::string &label) const { return find(label) != nullptr; }
+
+    /** Run a prediction and account for it. */
+    double predict(const std::string &label, const TouchStream &stream,
+                   Time now, Time target);
+
+    /** Predictions served. */
+    std::uint64_t predictions() const { return predictions_; }
+
+  private:
+    std::map<std::string, std::shared_ptr<const InputPredictor>> registry_;
+    std::uint64_t predictions_ = 0;
+};
+
+} // namespace dvs
+
+#endif // DVS_CORE_INPUT_PREDICTION_LAYER_H

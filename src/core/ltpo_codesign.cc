@@ -1,0 +1,45 @@
+#include "core/ltpo_codesign.h"
+
+namespace dvs {
+
+LtpoCodesign::LtpoCodesign(HwVsyncGenerator &hw, BufferQueue &queue,
+                           LtpoController &ltpo, Producer &producer)
+    : queue_(queue), ltpo_(ltpo), render_rate_(hw.rate_hz())
+{
+    hw.set_rate_policy(
+        [this](const VsyncEdge &e) { return on_edge(e); });
+    // New frames are stamped with the co-design's rendering rate, not the
+    // (possibly lagging) screen rate.
+    producer.set_rate_source([this] { return render_rate_; });
+}
+
+double
+LtpoCodesign::on_edge(const VsyncEdge &edge)
+{
+    // Rendering follows the LTPO decision immediately.
+    const double desired = ltpo_.decide();
+    render_rate_ = desired;
+
+    // The screen follows the buffer it is about to latch: each rendered
+    // buffer's bound rate controls its own display duration.
+    const FrameBuffer *head = queue_.peek_queued();
+    if (head && head->meta().render_rate_hz > 0) {
+        const double bound = head->meta().render_rate_hz;
+        if (bound != edge.rate_hz) {
+            ++switches_;
+            return bound;
+        }
+        if (desired != edge.rate_hz)
+            ++deferred_; // old-rate frames still draining
+        return 0.0;
+    }
+
+    // Queue empty (static content): switch directly.
+    if (desired != edge.rate_hz) {
+        ++switches_;
+        return desired;
+    }
+    return 0.0;
+}
+
+} // namespace dvs

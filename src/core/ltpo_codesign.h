@@ -1,0 +1,65 @@
+/**
+ * @file
+ * D-VSync × LTPO co-design (§5.3).
+ *
+ * LTPO panels lower the refresh rate when on-screen motion slows. With
+ * D-VSync, buffers rendered for rate X may still be accumulated in the
+ * queue when LTPO decides to switch to rate Y; displaying an X-rate frame
+ * for a Y-rate period would break pacing ("frames rendered at X Hz are
+ * not displayed at Y Hz"). The co-design:
+ *
+ *  - binds a rendering rate to every produced buffer (FrameMeta's
+ *    render_rate_hz, stamped by the producer through the rate source this
+ *    module installs);
+ *  - switches the *rendering* rate immediately when LTPO decides;
+ *  - defers the *screen* rate switch until every buffer bound to the old
+ *    rate has been consumed — each refresh period simply follows the rate
+ *    bound to the buffer being latched.
+ */
+
+#ifndef DVS_CORE_LTPO_CODESIGN_H
+#define DVS_CORE_LTPO_CODESIGN_H
+
+#include <cstdint>
+
+#include "buffer/buffer_queue.h"
+#include "display/hw_vsync.h"
+#include "display/ltpo.h"
+#include "pipeline/producer.h"
+
+namespace dvs {
+
+/**
+ * Coordinates rendering-rate and refresh-rate changes.
+ */
+class LtpoCodesign
+{
+  public:
+    LtpoCodesign(HwVsyncGenerator &hw, BufferQueue &queue,
+                 LtpoController &ltpo, Producer &producer);
+
+    /** Rate newly produced frames are rendered for. */
+    double render_rate() const { return render_rate_; }
+
+    /** Screen rate switches performed. */
+    std::uint64_t switches() const { return switches_; }
+
+    /**
+     * Edges at which a desired switch was deferred because accumulated
+     * buffers at the old rate had not drained yet.
+     */
+    std::uint64_t deferred() const { return deferred_; }
+
+  private:
+    double on_edge(const VsyncEdge &edge);
+
+    BufferQueue &queue_;
+    LtpoController &ltpo_;
+    double render_rate_ = 0.0;
+    std::uint64_t switches_ = 0;
+    std::uint64_t deferred_ = 0;
+};
+
+} // namespace dvs
+
+#endif // DVS_CORE_LTPO_CODESIGN_H

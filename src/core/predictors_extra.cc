@@ -1,0 +1,104 @@
+#include "core/predictors_extra.h"
+
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace dvs {
+namespace {
+
+double
+last_value_or_zero(const TouchStream &stream, Time now)
+{
+    const TouchEvent *ev = stream.latest_at(now);
+    return ev ? touch_value(*ev) : 0.0;
+}
+
+} // namespace
+
+AlphaBetaPredictor::AlphaBetaPredictor(double alpha, double beta,
+                                       Time window)
+    : alpha_(alpha), beta_(beta), window_(window)
+{
+    if (alpha <= 0 || alpha > 1 || beta <= 0 || beta > alpha)
+        fatal("alpha-beta gains must satisfy 0 < beta <= alpha <= 1");
+    if (window <= 0)
+        fatal("predictor window must be positive");
+}
+
+double
+AlphaBetaPredictor::predict(const TouchStream &stream, Time now,
+                            Time target) const
+{
+    const auto events = stream.window(now - window_, now);
+    if (events.size() < 2)
+        return last_value_or_zero(stream, now);
+
+    double x = touch_value(events.front());
+    double v = 0.0;
+    Time prev = events.front().timestamp;
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        const double dt = to_seconds(events[i].timestamp - prev);
+        if (dt <= 0)
+            continue;
+        const double predicted = x + v * dt;
+        const double residual = touch_value(events[i]) - predicted;
+        x = predicted + alpha_ * residual;
+        v += beta_ / dt * residual;
+        prev = events[i].timestamp;
+    }
+    return x + v * to_seconds(target - prev);
+}
+
+DampedTrendPredictor::DampedTrendPredictor(double level_gain,
+                                           double trend_gain, double phi,
+                                           Time window)
+    : level_gain_(level_gain), trend_gain_(trend_gain), phi_(phi),
+      window_(window)
+{
+    if (level_gain <= 0 || level_gain > 1 || trend_gain <= 0 ||
+        trend_gain > 1 || phi <= 0 || phi > 1) {
+        fatal("damped-trend gains must lie in (0, 1]");
+    }
+    if (window <= 0)
+        fatal("predictor window must be positive");
+}
+
+double
+DampedTrendPredictor::predict(const TouchStream &stream, Time now,
+                              Time target) const
+{
+    const auto events = stream.window(now - window_, now);
+    if (events.size() < 3)
+        return last_value_or_zero(stream, now);
+
+    // Initialize level/trend from the first two samples.
+    double level = touch_value(events[0]);
+    double trend = touch_value(events[1]) - touch_value(events[0]);
+    Time step = events[1].timestamp - events[0].timestamp;
+    if (step <= 0)
+        step = 8'000'000;
+
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        const double z = touch_value(events[i]);
+        const double prev_level = level;
+        level = level_gain_ * z +
+                (1.0 - level_gain_) * (level + phi_ * trend);
+        trend = trend_gain_ * (level - prev_level) +
+                (1.0 - trend_gain_) * phi_ * trend;
+    }
+
+    // Damped multi-step forecast: sum_{k=1..h} phi^k * trend.
+    const double h =
+        double(target - events.back().timestamp) / double(step);
+    double damp_sum = 0.0;
+    double phi_k = phi_;
+    for (int k = 0; k < int(std::ceil(h)) && k < 64; ++k) {
+        const double frac = std::min(1.0, h - k);
+        damp_sum += phi_k * frac;
+        phi_k *= phi_;
+    }
+    return level + trend * damp_sum;
+}
+
+} // namespace dvs

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Additional input predictors beyond the paper's linear ZDP.
+ *
+ * §4.6 frames the IPL as an extensible interface — "apps can register
+ * their specific heuristic curves" — and the related-work section points
+ * at richer predictors (Outatime's Markov model, motion prediction in
+ * VR). These implementations cover the next steps up from a plain
+ * least-squares line:
+ *
+ *  - AlphaBetaPredictor: a fixed-gain alpha-beta tracker (position +
+ *    velocity state), robust to noise and cheap — the classic choice for
+ *    touch trajectory smoothing in input pipelines.
+ *  - DampedTrendPredictor: double exponential smoothing with a damped
+ *    trend, which keeps long-horizon extrapolations conservative (a
+ *    fling's velocity decays; a raw linear fit overshoots).
+ */
+
+#ifndef DVS_CORE_PREDICTORS_EXTRA_H
+#define DVS_CORE_PREDICTORS_EXTRA_H
+
+#include "core/input_prediction_layer.h"
+
+namespace dvs {
+
+/**
+ * Fixed-gain alpha-beta tracker over the touch stream.
+ *
+ * State (position, velocity) updates per sample:
+ *   residual = z - (x + v dt);  x += v dt + alpha * residual;
+ *   v += beta / dt * residual.
+ */
+class AlphaBetaPredictor : public InputPredictor
+{
+  public:
+    /**
+     * @param alpha position gain in (0, 1]
+     * @param beta velocity gain in (0, alpha]
+     * @param window history replayed into the filter per prediction
+     */
+    AlphaBetaPredictor(double alpha = 0.85, double beta = 0.35,
+                       Time window = 120'000'000);
+
+    const char *name() const override { return "alpha-beta"; }
+    double predict(const TouchStream &stream, Time now,
+                   Time target) const override;
+
+  private:
+    double alpha_;
+    double beta_;
+    Time window_;
+};
+
+/**
+ * Damped-trend double exponential smoothing (Holt's method with a
+ * damping factor phi): long-horizon forecasts approach a plateau rather
+ * than extrapolating the instantaneous velocity forever.
+ */
+class DampedTrendPredictor : public InputPredictor
+{
+  public:
+    /**
+     * @param level_gain smoothing of the level (0, 1]
+     * @param trend_gain smoothing of the trend (0, 1]
+     * @param phi trend damping per step in (0, 1]
+     * @param window history replayed per prediction
+     */
+    DampedTrendPredictor(double level_gain = 0.7, double trend_gain = 0.4,
+                         double phi = 0.9, Time window = 150'000'000);
+
+    const char *name() const override { return "damped-trend"; }
+    double predict(const TouchStream &stream, Time now,
+                   Time target) const override;
+
+  private:
+    double level_gain_;
+    double trend_gain_;
+    double phi_;
+    Time window_;
+};
+
+} // namespace dvs
+
+#endif // DVS_CORE_PREDICTORS_EXTRA_H

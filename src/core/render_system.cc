@@ -1,0 +1,155 @@
+#include "core/render_system.h"
+
+#include <cstdio>
+
+#include "sim/logging.h"
+
+namespace dvs {
+
+const char *
+to_string(RenderMode m)
+{
+    switch (m) {
+      case RenderMode::kVsync:
+        return "VSync";
+      case RenderMode::kDvsync:
+        return "D-VSync";
+      case RenderMode::kPaced:
+        return "SwapInterval";
+    }
+    return "?";
+}
+
+RenderSystem::RenderSystem(const SystemConfig &config, Scenario scenario)
+    : config_(config), sim_(config.seed)
+{
+    buffers_ = config.buffers;
+    if (buffers_ == 0) {
+        buffers_ = config.device.vsync_buffers;
+        if (config.mode == RenderMode::kDvsync)
+            buffers_ += 1; // the paper's default: one extra buffer
+    }
+
+    queue_ = std::make_unique<BufferQueue>(buffers_);
+    hw_ = std::make_unique<HwVsyncGenerator>(sim_,
+                                             config.device.refresh_hz);
+    if (config.vsync_jitter > 0)
+        hw_->set_jitter(config.vsync_jitter, &sim_.rng());
+
+    // Registration order matters: the panel must latch before software
+    // consumers observe the same edge.
+    panel_ = std::make_unique<Panel>(*hw_, *queue_);
+    compositor_ = std::make_unique<Compositor>(*panel_, config.latch_lead);
+    dist_ = std::make_unique<VsyncDistributor>(sim_, *hw_);
+    dist_->set_offset(VsyncChannel::kApp, config.vsync_app_offset);
+    dist_->set_offset(VsyncChannel::kRs, config.vsync_rs_offset);
+
+    producer_ = std::make_unique<Producer>(sim_, std::move(scenario),
+                                           *queue_, *dist_);
+
+    if (config.mode == RenderMode::kDvsync) {
+        DvsyncConfig dc;
+        dc.prerender_limit = config.prerender_limit >= 0
+                                 ? config.prerender_limit
+                                 : prerender_limit_for_buffers(buffers_);
+        dc.calibration_interval = config.dtv_calibration_interval;
+        dc.predictor_overhead = config.predictor_overhead;
+
+        runtime_ = std::make_unique<DvsyncRuntime>(dc);
+        dtv_ = std::make_unique<DisplayTimeVirtualizer>(sim_, *hw_,
+                                                        *panel_, dc);
+        fpe_ = std::make_unique<FramePreExecutor>(*dtv_, *queue_, *panel_,
+                                                  *runtime_, dc);
+        runtime_->bind(*producer_, *dtv_, *fpe_, *queue_);
+        producer_->set_pacer(fpe_.get());
+    } else if (config.mode == RenderMode::kPaced) {
+        swap_pacer_ = std::make_unique<SwapIntervalPacer>(config.pacing);
+        producer_->set_pacer(swap_pacer_.get());
+    } else {
+        vsync_pacer_ = std::make_unique<VsyncPacer>();
+        producer_->set_pacer(vsync_pacer_.get());
+    }
+
+    stats_ = std::make_unique<FrameStats>(*producer_, *panel_);
+}
+
+RenderSystem::~RenderSystem() = default;
+
+void
+RenderSystem::run()
+{
+    if (ran_)
+        panic("RenderSystem::run called twice");
+    ran_ = true;
+
+    hw_->start();
+    producer_->start(0);
+
+    // Drain margin: enough refreshes for the pipeline and any accumulated
+    // buffers to reach the panel after the last segment ends.
+    const Time tail = Time(buffers_ + 4) * config_.device.period();
+    sim_.run_until(producer_->scenario().total_duration() + tail);
+    hw_->stop();
+}
+
+RunActivity
+RenderSystem::activity() const
+{
+    RunActivity a;
+    a.wall_time = producer_->scenario().total_duration();
+    a.pipeline_busy = producer_->ui_thread().total_busy() +
+                      producer_->render_thread().total_busy();
+    a.frames_produced = producer_->frames_started();
+    a.dvsync_on = config_.mode == RenderMode::kDvsync;
+    a.predictor_overhead = config_.predictor_overhead;
+    if (runtime_)
+        a.predicted_frames = runtime_->ipl().predictions();
+    return a;
+}
+
+int
+RenderSystem::prerender_limit() const
+{
+    return fpe_ ? fpe_->prerender_limit() : 0;
+}
+
+void
+RenderSystem::export_trace(TraceLog &log) const
+{
+    char name[64];
+    for (const FrameRecord &rec : producer_->records()) {
+        std::snprintf(name, sizeof(name), "frame %lld.%lld%s",
+                      (long long)rec.segment_index, (long long)rec.slot,
+                      rec.pre_rendered ? " (pre)" : "");
+        if (rec.ui_start != kTimeNone)
+            log.duration("ui thread", name, rec.ui_start, rec.ui_end);
+        if (rec.render_start != kTimeNone) {
+            log.duration("render thread", name, rec.render_start,
+                         rec.render_end);
+        }
+        if (rec.gpu_start != kTimeNone)
+            log.duration("gpu", name, rec.gpu_start, rec.gpu_end);
+        if (rec.queue_time != kTimeNone && rec.present_time != kTimeNone) {
+            log.duration("buffer queue", name, rec.queue_time,
+                         rec.present_time);
+        }
+    }
+    for (const RefreshLog &r : stats_->refreshes()) {
+        if (r.presented)
+            log.instant("display", "present", r.time);
+        else if (r.drop)
+            log.instant("display", "FRAME DROP", r.time);
+        log.counter("queued buffers", r.time,
+                    double(queue_->queued_count()));
+    }
+}
+
+double
+run_fdps(const SystemConfig &config, const Scenario &scenario)
+{
+    RenderSystem system(config, scenario);
+    system.run();
+    return system.stats().fdps();
+}
+
+} // namespace dvs

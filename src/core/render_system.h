@@ -1,0 +1,166 @@
+/**
+ * @file
+ * RenderSystem: the assembled rendering stack.
+ *
+ * One-stop facade that wires a complete simulated device — HW-VSync
+ * generator, buffer queue, panel, compositor, software vsync distributor,
+ * producer — under either the conventional VSync architecture or D-VSync
+ * (FPE + DTV + IPL + runtime), runs a scenario, and exposes the metrics.
+ * This is the entry point for the examples, tests, and benches.
+ */
+
+#ifndef DVS_CORE_RENDER_SYSTEM_H
+#define DVS_CORE_RENDER_SYSTEM_H
+
+#include <memory>
+
+#include "buffer/buffer_queue.h"
+#include "core/display_time_virtualizer.h"
+#include "core/dvsync_config.h"
+#include "core/dvsync_runtime.h"
+#include "core/frame_pre_executor.h"
+#include "display/device_config.h"
+#include "display/hw_vsync.h"
+#include "display/panel.h"
+#include "metrics/frame_stats.h"
+#include "metrics/power_model.h"
+#include "pipeline/compositor.h"
+#include "pipeline/producer.h"
+#include "pipeline/swap_interval_pacer.h"
+#include "sim/simulator.h"
+#include "sim/tracing.h"
+#include "vsyncsrc/vsync_distributor.h"
+#include "workload/scenario.h"
+
+namespace dvs {
+
+/** Rendering architecture under test. */
+enum class RenderMode {
+    kVsync,  ///< conventional VSync pipeline (§2)
+    kDvsync, ///< decoupled rendering and displaying (§4)
+    kPaced,  ///< Swappy-style auto swap-interval pacing (baseline)
+};
+
+const char *to_string(RenderMode m);
+
+/** Full configuration of a simulated run. */
+struct SystemConfig {
+    DeviceConfig device;          ///< Table-1 preset (default Pixel 5)
+    RenderMode mode = RenderMode::kVsync;
+
+    /**
+     * Buffer-queue capacity. 0 = architecture default: the device's
+     * vsync_buffers for VSync, vsync_buffers + 1 for D-VSync (the paper's
+     * default D-VSync configuration uses one extra buffer).
+     */
+    int buffers = 0;
+
+    /** Pre-render limit; -1 derives buffers − 2 (D-VSync only). */
+    int prerender_limit = -1;
+
+    std::uint64_t seed = 1;
+
+    /** Gaussian HW-VSync jitter (0 = ideal panel). */
+    Time vsync_jitter = 0;
+
+    /** DTV calibration interval in edges. */
+    int dtv_calibration_interval = 1;
+
+    /** SurfaceFlinger-style latch deadline (0 = direct path). */
+    Time latch_lead = 0;
+
+    /** VSync-app / VSync-rs offsets from the hardware edge. */
+    Time vsync_app_offset = 0;
+    Time vsync_rs_offset = 0;
+
+    /** Predictor fitting cost (decoupling-aware apps). */
+    Time predictor_overhead = 151'600;
+
+    /** Swap-interval pacing knobs (kPaced mode only). */
+    SwapIntervalConfig pacing;
+
+    SystemConfig() : device(pixel5()) {}
+};
+
+/**
+ * The assembled stack. Construct, optionally customize (register IPL
+ * predictors via runtime()), then run().
+ */
+class RenderSystem
+{
+  public:
+    RenderSystem(const SystemConfig &config, Scenario scenario);
+    ~RenderSystem();
+
+    RenderSystem(const RenderSystem &) = delete;
+    RenderSystem &operator=(const RenderSystem &) = delete;
+
+    /**
+     * Run the scenario to completion (plus a drain margin so in-flight
+     * frames present).
+     */
+    void run();
+
+    // ----- component access -------------------------------------------
+
+    Simulator &sim() { return sim_; }
+    const SystemConfig &config() const { return config_; }
+    BufferQueue &queue() { return *queue_; }
+    Panel &panel() { return *panel_; }
+    HwVsyncGenerator &hw_vsync() { return *hw_; }
+    VsyncDistributor &distributor() { return *dist_; }
+    Producer &producer() { return *producer_; }
+    Compositor &compositor() { return *compositor_; }
+    FrameStats &stats() { return *stats_; }
+
+    /** D-VSync components; null under the VSync baseline. */
+    DvsyncRuntime *runtime() { return runtime_.get(); }
+    DisplayTimeVirtualizer *dtv() { return dtv_.get(); }
+    FramePreExecutor *fpe() { return fpe_.get(); }
+
+    /** The swap-interval pacer; null unless mode == kPaced. */
+    SwapIntervalPacer *pacer() { return swap_pacer_.get(); }
+
+    /** Activity summary for the power model. */
+    RunActivity activity() const;
+
+    /** Effective queue capacity of the run. */
+    int buffers() const { return buffers_; }
+
+    /** Effective pre-render limit (D-VSync; 0 under VSync). */
+    int prerender_limit() const;
+
+    /**
+     * Export the finished run as Chrome trace events (UI/render stage
+     * durations, queue waits, presents, and frame drops) — loadable in
+     * chrome://tracing or the Perfetto UI.
+     */
+    void export_trace(TraceLog &log) const;
+
+  private:
+    SystemConfig config_;
+    int buffers_;
+    Simulator sim_;
+    std::unique_ptr<BufferQueue> queue_;
+    std::unique_ptr<HwVsyncGenerator> hw_;
+    std::unique_ptr<Panel> panel_;
+    std::unique_ptr<Compositor> compositor_;
+    std::unique_ptr<VsyncDistributor> dist_;
+    std::unique_ptr<Producer> producer_;
+    std::unique_ptr<FramePacer> vsync_pacer_;
+    std::unique_ptr<SwapIntervalPacer> swap_pacer_;
+    std::unique_ptr<DvsyncRuntime> runtime_;
+    std::unique_ptr<DisplayTimeVirtualizer> dtv_;
+    std::unique_ptr<FramePreExecutor> fpe_;
+    std::unique_ptr<FrameStats> stats_;
+    bool ran_ = false;
+};
+
+/**
+ * Convenience: run @p scenario under @p config and return the FDPS.
+ */
+double run_fdps(const SystemConfig &config, const Scenario &scenario);
+
+} // namespace dvs
+
+#endif // DVS_CORE_RENDER_SYSTEM_H

@@ -1,0 +1,62 @@
+#include "display/device_config.h"
+
+namespace dvs {
+
+const char *
+to_string(Backend b)
+{
+    return b == Backend::kGles ? "GLES" : "Vulkan";
+}
+
+DeviceConfig
+pixel5()
+{
+    DeviceConfig d;
+    d.name = "Google Pixel 5";
+    d.os = "AOSP 13";
+    d.backend = Backend::kGles;
+    d.width = 1080;
+    d.height = 2340;
+    d.refresh_hz = 60.0;
+    d.vsync_buffers = 3; // Android triple buffering
+    return d;
+}
+
+DeviceConfig
+mate40_pro()
+{
+    DeviceConfig d;
+    d.name = "Mate 40 Pro";
+    d.os = "OH 4.0";
+    d.backend = Backend::kGles;
+    d.width = 1344;
+    d.height = 2772;
+    d.refresh_hz = 90.0;
+    d.vsync_buffers = 4; // OpenHarmony render service default
+    d.ltpo_rates = {90.0, 60.0};
+    return d;
+}
+
+DeviceConfig
+mate60_pro(Backend backend)
+{
+    DeviceConfig d;
+    d.name = "Mate 60 Pro";
+    d.os = "OH 4.0";
+    d.backend = backend;
+    d.width = 1260;
+    d.height = 2720;
+    d.refresh_hz = 120.0;
+    d.vsync_buffers = 4;
+    d.ltpo_rates = {120.0, 90.0, 60.0, 30.0};
+    return d;
+}
+
+std::vector<DeviceConfig>
+all_devices()
+{
+    return {pixel5(), mate40_pro(), mate60_pro(Backend::kGles),
+            mate60_pro(Backend::kVulkan)};
+}
+
+} // namespace dvs

@@ -1,0 +1,51 @@
+#include "display/display_timing.h"
+
+#include "sim/logging.h"
+
+namespace dvs {
+
+DisplayTiming::DisplayTiming(double rate_hz, Time phase)
+    : rate_hz_(rate_hz), period_(period_from_hz(rate_hz)), phase_(phase)
+{
+    if (rate_hz <= 0)
+        fatal("refresh rate must be positive, got %f", rate_hz);
+}
+
+Time
+DisplayTiming::next_edge_after(Time t) const
+{
+    if (t < phase_)
+        return phase_;
+    const Time k = (t - phase_) / period_ + 1;
+    return phase_ + k * period_;
+}
+
+Time
+DisplayTiming::edge_at_or_before(Time t) const
+{
+    if (t < phase_)
+        return kTimeNone;
+    const Time k = (t - phase_) / period_;
+    return phase_ + k * period_;
+}
+
+bool
+DisplayTiming::is_edge(Time t) const
+{
+    return t >= phase_ && (t - phase_) % period_ == 0;
+}
+
+void
+DisplayTiming::set_rate(double rate_hz, Time at)
+{
+    if (rate_hz <= 0)
+        fatal("refresh rate must be positive, got %f", rate_hz);
+    if (!is_edge(at))
+        warn("rate change at %s is not on a vsync edge",
+             format_time(at).c_str());
+    rate_hz_ = rate_hz;
+    period_ = period_from_hz(rate_hz);
+    phase_ = at;
+}
+
+} // namespace dvs

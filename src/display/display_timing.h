@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Display timing model: the VSync grid of a screen.
+ *
+ * Encapsulates refresh-rate math (period, edge alignment) and supports
+ * runtime rate changes that take effect on a vsync edge, as variable
+ * refresh (LTPO) panels do.
+ */
+
+#ifndef DVS_DISPLAY_DISPLAY_TIMING_H
+#define DVS_DISPLAY_DISPLAY_TIMING_H
+
+#include "sim/time.h"
+
+namespace dvs {
+
+/**
+ * The timing grid of a display panel.
+ *
+ * The grid is anchored at a phase timestamp; edges occur at
+ * phase + k * period. Changing the rate re-anchors the grid at the change
+ * point, so edges stay contiguous across switches.
+ */
+class DisplayTiming
+{
+  public:
+    /** @param rate_hz initial refresh rate; @param phase first edge time */
+    explicit DisplayTiming(double rate_hz, Time phase = 0);
+
+    double rate_hz() const { return rate_hz_; }
+    Time period() const { return period_; }
+    Time phase() const { return phase_; }
+
+    /** The first edge strictly after @p t. */
+    Time next_edge_after(Time t) const;
+
+    /** The latest edge at or before @p t (kTimeNone if before phase). */
+    Time edge_at_or_before(Time t) const;
+
+    /** Whether @p t lies exactly on an edge. */
+    bool is_edge(Time t) const;
+
+    /**
+     * Switch the refresh rate. The new grid is anchored at @p at, which
+     * must be an edge of the current grid (panels switch on refresh
+     * boundaries).
+     */
+    void set_rate(double rate_hz, Time at);
+
+  private:
+    double rate_hz_;
+    Time period_;
+    Time phase_;
+};
+
+} // namespace dvs
+
+#endif // DVS_DISPLAY_DISPLAY_TIMING_H

@@ -1,0 +1,87 @@
+#include "display/hw_vsync.h"
+
+#include <algorithm>
+
+namespace dvs {
+
+HwVsyncGenerator::HwVsyncGenerator(Simulator &sim, double rate_hz,
+                                   Time first_edge)
+    : sim_(sim), timing_(rate_hz, first_edge), next_edge_(first_edge)
+{
+}
+
+void
+HwVsyncGenerator::set_jitter(Time stddev, Rng *rng)
+{
+    jitter_stddev_ = stddev;
+    jitter_rng_ = rng;
+}
+
+void
+HwVsyncGenerator::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    // A restart after stop() may find the scheduled edge in the past
+    // (screen-off): resume on the grid at the next edge from now.
+    if (next_edge_ < sim_.now())
+        next_edge_ = timing_.next_edge_after(sim_.now());
+    sim_.events().schedule(jittered(next_edge_), [this] { emit_edge(); },
+                           EventPriority::kDisplay);
+}
+
+Time
+HwVsyncGenerator::jittered(Time ideal) const
+{
+    if (jitter_stddev_ <= 0 || !jitter_rng_)
+        return ideal;
+    const double draw = jitter_rng_->normal(0.0, double(jitter_stddev_));
+    const double bound = 3.0 * double(jitter_stddev_);
+    Time t = ideal + Time(std::clamp(draw, -bound, bound));
+    // Never emit before "now" or before the previous edge.
+    return std::max(t, sim_.now());
+}
+
+void
+HwVsyncGenerator::stop()
+{
+    running_ = false;
+}
+
+void
+HwVsyncGenerator::emit_edge()
+{
+    if (!running_)
+        return;
+
+    const Time now = sim_.now();
+    const Time ideal = next_edge_;
+    VsyncEdge edge{now, edge_index_++, timing_.rate_hz()};
+
+    // Decide the rate for the period that starts at this edge, *before*
+    // notifying listeners, so the edge they see carries the rate that
+    // will govern the display duration of whatever is latched now.
+    double new_rate = 0.0;
+    if (rate_policy_)
+        new_rate = rate_policy_(edge);
+    if (new_rate == 0.0 && requested_rate_ != 0.0) {
+        new_rate = requested_rate_;
+        requested_rate_ = 0.0;
+    }
+    if (new_rate != 0.0 && new_rate != timing_.rate_hz()) {
+        // Anchor the new grid at the ideal edge so jitter does not skew
+        // the timing base.
+        timing_.set_rate(new_rate, ideal);
+        edge.rate_hz = new_rate;
+    }
+
+    for (auto &fn : listeners_)
+        fn(edge);
+
+    next_edge_ = ideal + timing_.period();
+    sim_.events().schedule(jittered(next_edge_), [this] { emit_edge(); },
+                           EventPriority::kDisplay);
+}
+
+} // namespace dvs

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Hardware VSync generator.
+ *
+ * Emits one HW-VSync event per panel refresh on the simulator's event
+ * queue, notifying registered listeners (the panel latch, the software
+ * vsync distributor, DTV calibration). Supports per-tick rate decisions so
+ * an LTPO policy can stretch or shrink the next period.
+ */
+
+#ifndef DVS_DISPLAY_HW_VSYNC_H
+#define DVS_DISPLAY_HW_VSYNC_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "display/display_timing.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace dvs {
+
+/** One hardware vsync edge. */
+struct VsyncEdge {
+    Time timestamp;      ///< time of the edge
+    std::uint64_t index; ///< monotonic edge counter
+    double rate_hz;      ///< refresh rate in force for the coming period
+};
+
+/**
+ * Generates the hardware VSync signal of the screen.
+ *
+ * Listener order is registration order; the panel must be registered
+ * before software consumers so the latch happens first on each edge
+ * (matching hardware, where scan-out samples the front buffer).
+ */
+class HwVsyncGenerator
+{
+  public:
+    using Listener = std::function<void(const VsyncEdge &)>;
+
+    /**
+     * A rate policy is consulted on every edge for the rate of the *next*
+     * period, enabling LTPO-style dynamic refresh. Returning 0 keeps the
+     * current rate.
+     */
+    using RatePolicy = std::function<double(const VsyncEdge &)>;
+
+    HwVsyncGenerator(Simulator &sim, double rate_hz, Time first_edge = 0);
+
+    /** Register a listener (called on every edge, in order). */
+    void add_listener(Listener fn) { listeners_.push_back(std::move(fn)); }
+
+    /** Install the per-edge rate policy (LTPO co-design hook). */
+    void set_rate_policy(RatePolicy p) { rate_policy_ = std::move(p); }
+
+    /**
+     * Add Gaussian timing jitter to emitted edges (real panels wander by
+     * tens of microseconds). Draws are clamped to ±3σ and the ideal grid
+     * is preserved, so jitter never accumulates.
+     */
+    void set_jitter(Time stddev, Rng *rng);
+
+    /** Start emitting edges. */
+    void start();
+
+    /** Stop after the current edge; no further edges are scheduled. */
+    void stop();
+
+    const DisplayTiming &timing() const { return timing_; }
+    double rate_hz() const { return timing_.rate_hz(); }
+    Time period() const { return timing_.period(); }
+    std::uint64_t edges_emitted() const { return edge_index_; }
+
+    /**
+     * Request a rate change that takes effect at the next edge (used when
+     * no LTPO policy is installed, e.g. scenario-scripted switches).
+     */
+    void request_rate(double rate_hz) { requested_rate_ = rate_hz; }
+
+  private:
+    void emit_edge();
+    Time jittered(Time ideal) const;
+
+    Simulator &sim_;
+    DisplayTiming timing_;
+    Time jitter_stddev_ = 0;
+    Rng *jitter_rng_ = nullptr;
+    std::vector<Listener> listeners_;
+    RatePolicy rate_policy_;
+    double requested_rate_ = 0.0;
+    std::uint64_t edge_index_ = 0;
+    Time next_edge_;
+    bool running_ = false;
+};
+
+} // namespace dvs
+
+#endif // DVS_DISPLAY_HW_VSYNC_H

@@ -1,0 +1,53 @@
+#include "display/ltpo.h"
+
+#include "sim/logging.h"
+
+namespace dvs {
+
+LtpoController::LtpoController(std::vector<double> rates,
+                               std::vector<double> thresholds)
+    : rates_(std::move(rates)), thresholds_(std::move(thresholds))
+{
+    if (rates_.empty() || rates_.size() != thresholds_.size())
+        fatal("LTPO rates/thresholds must be non-empty and equal-sized");
+    for (std::size_t i = 1; i < rates_.size(); ++i) {
+        if (rates_[i] >= rates_[i - 1] || thresholds_[i] > thresholds_[i - 1])
+            fatal("LTPO rates and thresholds must be strictly descending");
+    }
+}
+
+LtpoController
+LtpoController::for_rates(const std::vector<double> &rates)
+{
+    // Conventional mapping: the top rate engages for fast motion and each
+    // step down halves the speed requirement; the lowest rate has no
+    // requirement (static content).
+    std::vector<double> thresholds(rates.size());
+    double t = 2000.0; // px/s for the top rate
+    for (std::size_t i = 0; i + 1 < rates.size(); ++i) {
+        thresholds[i] = t;
+        t /= 2.0;
+    }
+    thresholds.back() = 0.0;
+    return LtpoController(rates, thresholds);
+}
+
+double
+LtpoController::rate_for_speed(double speed) const
+{
+    for (std::size_t i = 0; i < rates_.size(); ++i) {
+        if (speed >= thresholds_[i])
+            return rates_[i];
+    }
+    return rates_.back();
+}
+
+double
+LtpoController::decide() const
+{
+    if (!speed_)
+        return rates_.back();
+    return rate_for_speed(speed_());
+}
+
+} // namespace dvs

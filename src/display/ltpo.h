@@ -1,0 +1,68 @@
+/**
+ * @file
+ * LTPO variable-refresh controller (§5.3).
+ *
+ * Models the state-of-the-art LTPO behaviour the paper describes: the
+ * panel dynamically lowers its refresh rate when the motion on screen is
+ * slow enough that human eyes cannot tell the difference (e.g. a fling
+ * that starts at 120 Hz steps down to 90 Hz and then 60 Hz as it
+ * decelerates). The controller maps a motion-speed signal to the highest
+ * supported rate whose threshold the speed exceeds.
+ *
+ * The *co-design* with D-VSync (draining accumulated buffers rendered at
+ * the old rate before switching) lives in core/ltpo_codesign.h.
+ */
+
+#ifndef DVS_DISPLAY_LTPO_H
+#define DVS_DISPLAY_LTPO_H
+
+#include <functional>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dvs {
+
+/**
+ * Chooses the panel refresh rate from a motion-speed signal.
+ *
+ * Rates and thresholds are parallel arrays sorted by descending rate: the
+ * controller picks the first rate whose threshold the speed meets, falling
+ * through to the lowest rate for near-static content.
+ */
+class LtpoController
+{
+  public:
+    /** Speed source: e.g. current fling velocity in px/s. */
+    using SpeedSource = std::function<double()>;
+
+    /**
+     * @param rates supported refresh rates, descending (e.g. {120,90,60})
+     * @param thresholds speed (px/s) above which each rate is required;
+     *        must have the same size as @p rates, descending
+     */
+    LtpoController(std::vector<double> rates,
+                   std::vector<double> thresholds);
+
+    /** Build the conventional thresholds for a device's rate set. */
+    static LtpoController for_rates(const std::vector<double> &rates);
+
+    void set_speed_source(SpeedSource s) { speed_ = std::move(s); }
+
+    /** Rate the panel should run at for motion speed @p speed. */
+    double rate_for_speed(double speed) const;
+
+    /** Rate decided from the attached speed source (lowest when unset). */
+    double decide() const;
+
+    const std::vector<double> &rates() const { return rates_; }
+
+  private:
+    std::vector<double> rates_;
+    std::vector<double> thresholds_;
+    SpeedSource speed_;
+};
+
+} // namespace dvs
+
+#endif // DVS_DISPLAY_LTPO_H

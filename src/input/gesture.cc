@@ -1,0 +1,88 @@
+#include "input/gesture.h"
+
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace dvs {
+namespace {
+
+double
+noise(Rng *rng, double amount)
+{
+    return (rng && amount > 0) ? rng->normal(0.0, amount) : 0.0;
+}
+
+/** Generate samples at the report rate over [start, start+duration]. */
+template <typename PosFn>
+TouchStream
+sample_gesture(const GestureTiming &t, PosFn &&fn)
+{
+    if (t.duration <= 0)
+        fatal("gesture duration must be positive");
+    TouchStream stream;
+    const Time step = Time(1e9 / t.report_hz);
+    for (Time ts = t.start;; ts += step) {
+        const bool last = ts >= t.start + t.duration;
+        const Time clamped = last ? t.start + t.duration : ts;
+        TouchEvent ev = fn(double(clamped - t.start) / double(t.duration));
+        ev.timestamp = clamped;
+        ev.phase = clamped == t.start
+                       ? TouchPhase::kDown
+                       : (last ? TouchPhase::kUp : TouchPhase::kMove);
+        stream.push(ev);
+        if (last)
+            break;
+    }
+    return stream;
+}
+
+} // namespace
+
+TouchStream
+make_swipe(const GestureTiming &timing, double start_y, double distance_px,
+           Rng *noise_rng)
+{
+    return sample_gesture(timing, [&](double f) {
+        // Ease-out (quadratic): fast at touch, decelerating to lift-off.
+        const double progress = 1.0 - (1.0 - f) * (1.0 - f);
+        TouchEvent ev;
+        ev.x = 540.0;
+        ev.y = start_y - distance_px * progress +
+               noise(noise_rng, timing.noise_px);
+        return ev;
+    });
+}
+
+TouchStream
+make_drag(const GestureTiming &timing, double start_y,
+          double velocity_px_per_s, Rng *noise_rng)
+{
+    return sample_gesture(timing, [&](double f) {
+        const double t_s = f * to_seconds(timing.duration);
+        TouchEvent ev;
+        ev.x = 540.0;
+        ev.y = start_y - velocity_px_per_s * t_s +
+               noise(noise_rng, timing.noise_px);
+        return ev;
+    });
+}
+
+TouchStream
+make_pinch(const GestureTiming &timing, double start_distance,
+           double end_distance, Rng *noise_rng)
+{
+    return sample_gesture(timing, [&](double f) {
+        // Smoothstep ease-in-out.
+        const double s = f * f * (3.0 - 2.0 * f);
+        TouchEvent ev;
+        ev.x = 540.0;
+        ev.y = 1200.0;
+        ev.pinch_distance = start_distance +
+                            (end_distance - start_distance) * s +
+                            noise(noise_rng, timing.noise_px);
+        return ev;
+    });
+}
+
+} // namespace dvs

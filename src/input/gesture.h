@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Gesture synthesizer: generates realistic touch-event streams.
+ *
+ * The benches drive interactive scenarios with synthetic gestures — the
+ * upward swipe of Fig. 7, the twice-a-second page swipes of §6.1, and the
+ * two-finger pinch zoom of the §6.5 map case study.
+ */
+
+#ifndef DVS_INPUT_GESTURE_H
+#define DVS_INPUT_GESTURE_H
+
+#include "input/touch_event.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace dvs {
+
+/** Parameters shared by the gesture builders. */
+struct GestureTiming {
+    Time start = 0;
+    Time duration = 0;
+    /** Touch panel report rate. */
+    double report_hz = 120.0;
+    /** Gaussian positional noise (px) applied to every sample. */
+    double noise_px = 0.0;
+};
+
+/**
+ * A vertical swipe: the finger travels @p distance_px upward (negative
+ * for downward) with an ease-out velocity profile, as a natural flick
+ * decelerates toward lift-off.
+ */
+TouchStream make_swipe(const GestureTiming &timing, double start_y,
+                       double distance_px, Rng *noise_rng = nullptr);
+
+/**
+ * A constant-velocity drag, used for latency visualization (Fig. 7)
+ * where the displacement between finger and content is measured.
+ */
+TouchStream make_drag(const GestureTiming &timing, double start_y,
+                      double velocity_px_per_s, Rng *noise_rng = nullptr);
+
+/**
+ * A two-finger pinch: fingertip distance grows from @p start_distance to
+ * @p end_distance with a smooth (ease-in-out) profile; pinch_distance
+ * carries the state the map app's ZDP predicts.
+ */
+TouchStream make_pinch(const GestureTiming &timing, double start_distance,
+                       double end_distance, Rng *noise_rng = nullptr);
+
+} // namespace dvs
+
+#endif // DVS_INPUT_GESTURE_H

@@ -1,0 +1,85 @@
+#include "input/touch_event.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/logging.h"
+
+namespace dvs {
+
+TouchStream::TouchStream(std::vector<TouchEvent> events)
+    : events_(std::move(events))
+{
+    assert(std::is_sorted(events_.begin(), events_.end(),
+                          [](const TouchEvent &a, const TouchEvent &b) {
+                              return a.timestamp < b.timestamp;
+                          }));
+}
+
+void
+TouchStream::push(const TouchEvent &ev)
+{
+    if (!events_.empty() && ev.timestamp < events_.back().timestamp)
+        panic("touch events must be pushed in time order");
+    events_.push_back(ev);
+}
+
+Time
+TouchStream::start_time() const
+{
+    return events_.empty() ? kTimeNone : events_.front().timestamp;
+}
+
+Time
+TouchStream::end_time() const
+{
+    return events_.empty() ? kTimeNone : events_.back().timestamp;
+}
+
+const TouchEvent *
+TouchStream::latest_at(Time t) const
+{
+    auto it = std::upper_bound(
+        events_.begin(), events_.end(), t,
+        [](Time lhs, const TouchEvent &ev) { return lhs < ev.timestamp; });
+    if (it == events_.begin())
+        return nullptr;
+    return &*std::prev(it);
+}
+
+std::vector<TouchEvent>
+TouchStream::window(Time from, Time to) const
+{
+    std::vector<TouchEvent> out;
+    for (const TouchEvent &ev : events_) {
+        if (ev.timestamp > from && ev.timestamp <= to)
+            out.push_back(ev);
+    }
+    return out;
+}
+
+TouchEvent
+TouchStream::interpolate(Time t) const
+{
+    if (events_.empty())
+        return TouchEvent{};
+    if (t <= events_.front().timestamp)
+        return events_.front();
+    if (t >= events_.back().timestamp)
+        return events_.back();
+    auto hi = std::lower_bound(
+        events_.begin(), events_.end(), t,
+        [](const TouchEvent &ev, Time rhs) { return ev.timestamp < rhs; });
+    auto lo = std::prev(hi);
+    const double f =
+        double(t - lo->timestamp) / double(hi->timestamp - lo->timestamp);
+    TouchEvent ev = *lo;
+    ev.timestamp = t;
+    ev.x = lo->x + f * (hi->x - lo->x);
+    ev.y = lo->y + f * (hi->y - lo->y);
+    ev.pinch_distance =
+        lo->pinch_distance + f * (hi->pinch_distance - lo->pinch_distance);
+    return ev;
+}
+
+} // namespace dvs

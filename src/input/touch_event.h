@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Touch input events.
+ *
+ * Input is modeled as a timestamped stream of touch samples at a fixed
+ * report rate (touch panels commonly report at 120–240 Hz). For pinch
+ * gestures the salient state is the distance between the two fingertips
+ * (what the map app's ZDP predicts, §6.5); for swipes it is the y
+ * coordinate of the finger.
+ */
+
+#ifndef DVS_INPUT_TOUCH_EVENT_H
+#define DVS_INPUT_TOUCH_EVENT_H
+
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dvs {
+
+/** Phase of a touch sample within a gesture. */
+enum class TouchPhase {
+    kDown,
+    kMove,
+    kUp,
+};
+
+/** One report from the touch panel. */
+struct TouchEvent {
+    Time timestamp = 0;
+    TouchPhase phase = TouchPhase::kMove;
+    double x = 0.0; ///< px
+    double y = 0.0; ///< px
+    /** Two-finger distance in px (pinch gestures; 0 for single touch). */
+    double pinch_distance = 0.0;
+};
+
+/**
+ * The salient scalar of a touch sample: the pinch distance for two-finger
+ * gestures, otherwise the y coordinate. This is the value interactive
+ * frames render and the value IPL predicts.
+ */
+inline double
+touch_value(const TouchEvent &ev)
+{
+    return ev.pinch_distance != 0.0 ? ev.pinch_distance : ev.y;
+}
+
+/**
+ * A recorded or synthesized stream of touch events, ordered by timestamp.
+ * Provides the "latest event at or before t" query the UI framework uses
+ * when rendering an interactive frame.
+ */
+class TouchStream
+{
+  public:
+    TouchStream() = default;
+    explicit TouchStream(std::vector<TouchEvent> events);
+
+    void push(const TouchEvent &ev);
+
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+    const std::vector<TouchEvent> &events() const { return events_; }
+
+    /** First event time (kTimeNone when empty). */
+    Time start_time() const;
+
+    /** Last event time (kTimeNone when empty). */
+    Time end_time() const;
+
+    /**
+     * The most recent event at or before @p t.
+     * @return nullptr when no event has happened by @p t.
+     */
+    const TouchEvent *latest_at(Time t) const;
+
+    /**
+     * All events in (from, to], the window IPL uses to fit its curves.
+     */
+    std::vector<TouchEvent> window(Time from, Time to) const;
+
+    /**
+     * Ground-truth state at @p t by linear interpolation between samples
+     * (clamped at the ends). Used to score prediction error.
+     */
+    TouchEvent interpolate(Time t) const;
+
+  private:
+    std::vector<TouchEvent> events_;
+};
+
+} // namespace dvs
+
+#endif // DVS_INPUT_TOUCH_EVENT_H

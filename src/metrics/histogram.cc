@@ -1,0 +1,77 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.h"
+
+namespace dvs {
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi)
+{
+    if (bins <= 0 || hi <= lo)
+        fatal("Histogram needs bins > 0 and hi > lo");
+    width_ = (hi - lo) / bins;
+    counts_.assign(std::size_t(bins), 0);
+}
+
+void
+Histogram::add(double x)
+{
+    int i = int((x - lo_) / width_);
+    i = std::clamp(i, 0, bins() - 1);
+    ++counts_[std::size_t(i)];
+    ++total_;
+}
+
+double
+Histogram::bin_edge(int i) const
+{
+    return lo_ + width_ * i;
+}
+
+double
+Histogram::cdf_at(int i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t cum = 0;
+    for (int k = 0; k <= i; ++k)
+        cum += counts_[std::size_t(k)];
+    return double(cum) / double(total_);
+}
+
+double
+Histogram::cdf(double x) const
+{
+    if (x < lo_)
+        return 0.0;
+    if (x >= hi_)
+        return 1.0;
+    const double pos = (x - lo_) / width_;
+    const int i = int(pos);
+    // x exactly on a bin edge: samples inside bin i are all > x.
+    if (pos == double(i))
+        return i == 0 ? 0.0 : cdf_at(i - 1);
+    return cdf_at(i);
+}
+
+std::string
+Histogram::to_csv() const
+{
+    std::string out = "bin_right_edge,pdf,cdf\n";
+    char buf[96];
+    std::uint64_t cum = 0;
+    for (int i = 0; i < bins(); ++i) {
+        cum += counts_[std::size_t(i)];
+        const double pdf =
+            total_ ? double(counts_[std::size_t(i)]) / double(total_) : 0;
+        const double cdf_v = total_ ? double(cum) / double(total_) : 0;
+        std::snprintf(buf, sizeof(buf), "%.6g,%.6g,%.6g\n",
+                      bin_edge(i) + width_, pdf, cdf_v);
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace dvs

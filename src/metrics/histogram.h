@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fixed-bin histogram with CDF export (for Fig. 1-style plots).
+ */
+
+#ifndef DVS_METRICS_HISTOGRAM_H
+#define DVS_METRICS_HISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dvs {
+
+/** Equal-width histogram over [lo, hi); out-of-range values clamp. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, int bins);
+
+    void add(double x);
+
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    int bins() const { return int(counts_.size()); }
+    std::uint64_t count() const { return total_; }
+    std::uint64_t bin_count(int i) const { return counts_[i]; }
+
+    /** Left edge of bin @p i. */
+    double bin_edge(int i) const;
+
+    /** Cumulative probability at the *right* edge of bin @p i. */
+    double cdf_at(int i) const;
+
+    /** Fraction of samples <= x. */
+    double cdf(double x) const;
+
+    /** CSV rows: "bin_right_edge,pdf,cdf". */
+    std::string to_csv() const;
+
+  private:
+    double lo_, hi_, width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace dvs
+
+#endif // DVS_METRICS_HISTOGRAM_H

@@ -1,0 +1,47 @@
+#include "metrics/power_model.h"
+
+namespace dvs {
+
+double
+PowerModel::energy_mj(const RunActivity &a) const
+{
+    // mW × s = mJ.
+    double mj = params_.base_mw * to_seconds(a.wall_time);
+    mj += params_.active_mw * to_seconds(a.pipeline_busy);
+    mj += dvsync_overhead_mj(a);
+    return mj;
+}
+
+double
+PowerModel::dvsync_overhead_mj(const RunActivity &a) const
+{
+    if (!a.dvsync_on)
+        return 0.0;
+    double mj = params_.little_mw *
+                to_seconds(Time(a.frames_produced) *
+                           params_.dvsync_overhead_per_frame);
+    // Predictor fitting runs on the app side (middle cores).
+    mj += params_.active_mw *
+          to_seconds(Time(a.predicted_frames) * a.predictor_overhead);
+    return mj;
+}
+
+double
+PowerModel::instructions(const RunActivity &a) const
+{
+    const double per_frame = a.dvsync_on ? params_.instr_per_frame_dvsync
+                                         : params_.instr_per_frame_base;
+    return per_frame * double(a.frames_produced);
+}
+
+double
+PowerModel::percent_increase(const RunActivity &a,
+                             const RunActivity &b) const
+{
+    const double ea = energy_mj(a);
+    if (ea <= 0)
+        return 0.0;
+    return 100.0 * (energy_mj(b) - ea) / ea;
+}
+
+} // namespace dvs

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Power and CPU-instruction model (§6.4 / §6.7).
+ *
+ * First-order energy model of a run: a static floor (display + rails)
+ * plus dynamic energy proportional to pipeline busy time. D-VSync's own
+ * logic (FPE + DTV) adds a fixed per-frame execution cost on the little
+ * cores (the paper measures 102.6 µs/frame), and decoupling-aware input
+ * prediction (ZDP) adds its fitting cost on predicted frames. The paper
+ * attributes D-VSync's 0.13–0.37% end-to-end power increase to (a) these
+ * overheads and (b) the frames rendered that VSync would have skipped —
+ * both fall out of this model directly.
+ */
+
+#ifndef DVS_METRICS_POWER_MODEL_H
+#define DVS_METRICS_POWER_MODEL_H
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace dvs {
+
+/** Model constants (defaults target a Pixel-5-class SoC). */
+struct PowerParams {
+    /** Static device power while the screen is on (mW). */
+    double base_mw = 1450.0;
+
+    /** Dynamic power of the big/middle cores while rendering (mW). */
+    double active_mw = 900.0;
+
+    /**
+     * Power of the little-core cluster while the D-VSync threads run
+     * (mW). VSync/D-VSync threads live on little cores so they do not
+     * compete with the UI/render threads (§6.4).
+     */
+    double little_mw = 550.0;
+
+    /** FPE + DTV execution time per frame (§6.4: 102.6 µs). */
+    Time dvsync_overhead_per_frame = 102'600;
+
+    /** Render-service instructions per frame, VSync baseline (§6.7). */
+    double instr_per_frame_base = 10.793e6;
+
+    /** Render-service instructions per frame with D-VSync on (§6.7). */
+    double instr_per_frame_dvsync = 10.849e6;
+};
+
+/** Inputs describing a finished run. */
+struct RunActivity {
+    Time wall_time = 0;        ///< run duration
+    Time pipeline_busy = 0;    ///< UI + render thread busy time
+    std::uint64_t frames_produced = 0;
+    bool dvsync_on = false;
+    /** Frames that additionally ran an input predictor (ZDP). */
+    std::uint64_t predicted_frames = 0;
+    /** Predictor execution time per predicted frame (§6.5: 151.6 µs). */
+    Time predictor_overhead = 151'600;
+};
+
+/** First-order energy model. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(PowerParams params = {}) : params_(params) {}
+
+    /** Total energy of a run in millijoules. */
+    double energy_mj(const RunActivity &a) const;
+
+    /** Energy attributable to D-VSync bookkeeping alone (mJ). */
+    double dvsync_overhead_mj(const RunActivity &a) const;
+
+    /** Render-service instructions executed over the run. */
+    double instructions(const RunActivity &a) const;
+
+    /** Percentage increase of @p b over @p a in energy. */
+    double percent_increase(const RunActivity &a,
+                            const RunActivity &b) const;
+
+    const PowerParams &params() const { return params_; }
+
+  private:
+    PowerParams params_;
+};
+
+} // namespace dvs
+
+#endif // DVS_METRICS_POWER_MODEL_H

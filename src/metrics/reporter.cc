@@ -1,0 +1,85 @@
+#include "metrics/reporter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dvs {
+
+TableReporter::TableReporter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TableReporter::add_row(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TableReporter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TableReporter::to_string() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+        for (const auto &row : rows_)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            if (c + 1 < row.size())
+                line.append(widths[c] - row[c].size() + 2, ' ');
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = emit_row(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        rule.append(widths[c], '-');
+        if (c + 1 < widths.size())
+            rule.append(2, ' ');
+    }
+    out += rule + '\n';
+    for (const auto &row : rows_)
+        out += emit_row(row);
+    return out;
+}
+
+void
+TableReporter::print() const
+{
+    std::fputs(to_string().c_str(), stdout);
+}
+
+std::string
+ascii_bar(double value, double max_value, int width)
+{
+    if (max_value <= 0 || value <= 0)
+        return "";
+    int n = int(value / max_value * width + 0.5);
+    n = std::clamp(n, 0, width);
+    return std::string(std::size_t(n), '#');
+}
+
+void
+print_section(const std::string &title)
+{
+    std::string rule(title.size(), '=');
+    std::printf("\n%s\n%s\n", title.c_str(), rule.c_str());
+}
+
+} // namespace dvs

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Text reporters for the bench binaries: aligned tables and ASCII bar
+ * charts, so each bench prints rows directly comparable to the paper's
+ * figures.
+ */
+
+#ifndef DVS_METRICS_REPORTER_H
+#define DVS_METRICS_REPORTER_H
+
+#include <string>
+#include <vector>
+
+namespace dvs {
+
+/** An aligned text table built row by row. */
+class TableReporter
+{
+  public:
+    explicit TableReporter(std::vector<std::string> headers);
+
+    /** Add a row (cells beyond the header count are dropped). */
+    void add_row(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render the table with column alignment. */
+    std::string to_string() const;
+
+    /** Print to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** A proportional ASCII bar: e.g. bar(2.5, 5.0, 20) -> "##########". */
+std::string ascii_bar(double value, double max_value, int width = 30);
+
+/** Section header for bench output. */
+void print_section(const std::string &title);
+
+} // namespace dvs
+
+#endif // DVS_METRICS_REPORTER_H

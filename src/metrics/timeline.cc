@@ -1,0 +1,126 @@
+#include "metrics/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dvs {
+namespace {
+
+/** Label for a frame: the last digit of its timeline slot. */
+char
+frame_glyph(const FrameRecord &rec)
+{
+    return char('0' + (rec.slot >= 0 ? rec.slot % 10 : 0));
+}
+
+/** Paint [from, to) of a lane with @p glyph. */
+void
+paint(std::string &lane, Time from, Time to, Time start, Time column,
+      char glyph)
+{
+    if (to <= from)
+        to = from + 1;
+    const std::int64_t width = std::int64_t(lane.size());
+    std::int64_t lo = (from - start) / column;
+    std::int64_t hi = (to - start + column - 1) / column;
+    lo = std::clamp<std::int64_t>(lo, 0, width);
+    hi = std::clamp<std::int64_t>(hi, 0, width);
+    for (std::int64_t i = lo; i < hi; ++i)
+        lane[std::size_t(i)] = glyph;
+}
+
+} // namespace
+
+std::string
+render_timeline(const std::vector<FrameRecord> &records,
+                const std::vector<RefreshLog> &refreshes,
+                const TimelineOptions &options)
+{
+    TimelineOptions opt = options;
+    if (opt.column == 0)
+        opt.column = std::max<Time>(1, opt.period / 2);
+    if (opt.duration == 0) {
+        Time last = opt.start + opt.period;
+        for (const RefreshLog &r : refreshes)
+            last = std::max(last, r.time);
+        opt.duration = last - opt.start + opt.period;
+    }
+
+    int columns = int((opt.duration + opt.column - 1) / opt.column);
+    columns = std::clamp(columns, 1, opt.max_width);
+    const Time end = opt.start + Time(columns) * opt.column;
+
+    std::string ruler(std::size_t(columns), ' ');
+    std::string ui(std::size_t(columns), '.');
+    std::string render(std::size_t(columns), '.');
+    std::string gpu(std::size_t(columns), '.');
+    std::string queue(std::size_t(columns), '.');
+    std::string display(std::size_t(columns), '.');
+    bool any_gpu = false;
+
+    // Ruler: a '|' on every vsync edge that lands on a column boundary.
+    for (Time t = 0; t < end; t += opt.period) {
+        if (t < opt.start)
+            continue;
+        const std::int64_t i = (t - opt.start) / opt.column;
+        if (i >= 0 && i < columns)
+            ruler[std::size_t(i)] = '|';
+    }
+
+    for (const FrameRecord &rec : records) {
+        if (rec.queue_time != kTimeNone && rec.queue_time < opt.start)
+            continue;
+        if (rec.trigger_time > end)
+            continue;
+        const char g = frame_glyph(rec);
+        if (rec.ui_start != kTimeNone)
+            paint(ui, rec.ui_start, rec.ui_end, opt.start, opt.column, g);
+        if (rec.render_start != kTimeNone) {
+            paint(render, rec.render_start, rec.render_end, opt.start,
+                  opt.column, g);
+        }
+        if (rec.gpu_start != kTimeNone) {
+            any_gpu = true;
+            paint(gpu, rec.gpu_start, rec.gpu_end, opt.start, opt.column,
+                  g);
+        }
+        if (rec.queue_time != kTimeNone && rec.present_time != kTimeNone) {
+            paint(queue, rec.queue_time, rec.present_time, opt.start,
+                  opt.column, g);
+        }
+    }
+
+    for (const RefreshLog &r : refreshes) {
+        if (r.time < opt.start || r.time >= end)
+            continue;
+        if (r.presented) {
+            // Find the frame to label the display lane.
+            char g = '#';
+            if (r.frame_id < records.size())
+                g = frame_glyph(records[r.frame_id]);
+            paint(display, r.time, r.time + opt.period, opt.start,
+                  opt.column, g);
+        } else if (r.drop) {
+            paint(display, r.time, r.time + opt.period, opt.start,
+                  opt.column, 'X');
+        }
+    }
+
+    std::string out;
+    out += "vsync    " + ruler + "\n";
+    out += "ui       " + ui + "\n";
+    out += "render   " + render + "\n";
+    if (any_gpu)
+        out += "gpu      " + gpu + "\n";
+    out += "queue    " + queue + "\n";
+    out += "display  " + display + "\n";
+    char legend[160];
+    std::snprintf(legend, sizeof(legend),
+                  "         (column = %s; digits = timeline slot mod 10; "
+                  "X = frame drop)\n",
+                  format_time(opt.column).c_str());
+    out += legend;
+    return out;
+}
+
+} // namespace dvs

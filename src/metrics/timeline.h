@@ -1,0 +1,48 @@
+/**
+ * @file
+ * ASCII timeline rendering of a simulated run.
+ *
+ * Renders the runtime traces the paper draws in Figures 2 and 10: one
+ * lane per pipeline stage (UI thread, render thread, buffer queue,
+ * display), columns quantized to a fraction of the refresh period.
+ * Frames are labelled by the last digit of their timeline slot so the
+ * execution pattern — vsync-paced vs. accumulated pre-rendering — is
+ * visible at a glance, and missed refreshes show as 'X' in the display
+ * lane.
+ */
+
+#ifndef DVS_METRICS_TIMELINE_H
+#define DVS_METRICS_TIMELINE_H
+
+#include <string>
+#include <vector>
+
+#include "metrics/frame_stats.h"
+#include "pipeline/frame.h"
+#include "sim/time.h"
+
+namespace dvs {
+
+/** Options for timeline rendering. */
+struct TimelineOptions {
+    Time start = 0;             ///< left edge of the view
+    Time duration = 0;          ///< 0 = until the last present
+    Time column = 0;            ///< time per character (0 = period / 2)
+    Time period = 16'666'666;   ///< refresh period (for the ruler)
+    int max_width = 110;        ///< clip to this many columns
+};
+
+/**
+ * Render the lanes of a run.
+ *
+ * @param records the producer's frame records
+ * @param refreshes the metrics layer's refresh log
+ * @return a multi-line string (ruler + 4 lanes)
+ */
+std::string render_timeline(const std::vector<FrameRecord> &records,
+                            const std::vector<RefreshLog> &refreshes,
+                            const TimelineOptions &options);
+
+} // namespace dvs
+
+#endif // DVS_METRICS_TIMELINE_H

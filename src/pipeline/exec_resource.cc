@@ -1,0 +1,32 @@
+#include "pipeline/exec_resource.h"
+
+#include "sim/logging.h"
+
+namespace dvs {
+
+ExecResource::ExecResource(Simulator &sim, std::string name)
+    : sim_(sim), name_(std::move(name))
+{
+}
+
+Time
+ExecResource::run(Time duration, std::function<void()> on_done)
+{
+    if (duration < 0)
+        panic("negative work duration on %s", name_.c_str());
+    const Time now = sim_.now();
+    const Time start = std::max(now, busy_until_);
+    if (start > now) {
+        debug("%s: work queued %s behind current job", name_.c_str(),
+              format_time(start - now).c_str());
+    }
+    const Time end = start + duration;
+    busy_until_ = end;
+    total_busy_ += duration;
+    ++jobs_;
+    sim_.events().schedule(end, std::move(on_done),
+                           EventPriority::kPipeline);
+    return start;
+}
+
+} // namespace dvs

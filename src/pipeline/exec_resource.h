@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Serialized execution resource: a simulated thread.
+ *
+ * The UI thread and the render thread/service each execute one piece of
+ * work at a time. The resource tracks its busy horizon and cumulative busy
+ * time (the input of the power model).
+ */
+
+#ifndef DVS_PIPELINE_EXEC_RESOURCE_H
+#define DVS_PIPELINE_EXEC_RESOURCE_H
+
+#include <functional>
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace dvs {
+
+/**
+ * A serialized compute resource. Callers are expected to submit work only
+ * when the resource is idle (the pipeline pumps explicitly); submitting
+ * while busy queues the work after the current one, with a warning in
+ * debug logs because it usually indicates a pacing bug.
+ */
+class ExecResource
+{
+  public:
+    ExecResource(Simulator &sim, std::string name);
+
+    const std::string &name() const { return name_; }
+
+    /** Whether the resource can start new work right now. */
+    bool idle() const { return sim_.now() >= busy_until_; }
+
+    /** Time the current work finishes (may be in the past when idle). */
+    Time busy_until() const { return busy_until_; }
+
+    /**
+     * Execute work of length @p duration, starting now (or when the
+     * current work finishes). @p on_done runs at completion.
+     * @return the work's start time.
+     */
+    Time run(Time duration, std::function<void()> on_done);
+
+    /** Cumulative busy time (for utilization and power accounting). */
+    Time total_busy() const { return total_busy_; }
+
+    /** Number of work items executed. */
+    std::uint64_t jobs() const { return jobs_; }
+
+  private:
+    Simulator &sim_;
+    std::string name_;
+    Time busy_until_ = 0;
+    Time total_busy_ = 0;
+    std::uint64_t jobs_ = 0;
+};
+
+} // namespace dvs
+
+#endif // DVS_PIPELINE_EXEC_RESOURCE_H

@@ -1,0 +1,3 @@
+#include "pipeline/frame.h"
+
+// FrameRecord is a plain data carrier; its definitions live in the header.

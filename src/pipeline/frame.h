@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-frame lifecycle record.
+ *
+ * The producer keeps one FrameRecord per frame it starts, tracking every
+ * stage timestamp. The metrics layer and the benches read these records;
+ * they are the simulation's equivalent of a Perfetto trace.
+ */
+
+#ifndef DVS_PIPELINE_FRAME_H
+#define DVS_PIPELINE_FRAME_H
+
+#include <cstdint>
+
+#include "sim/time.h"
+#include "workload/frame_cost.h"
+#include "workload/scenario.h"
+
+namespace dvs {
+
+/** Lifecycle timestamps and identity of one produced frame. */
+struct FrameRecord {
+    std::uint64_t frame_id = 0;
+
+    /** Scenario segment the frame belongs to. */
+    int segment_index = -1;
+    SegmentKind kind = SegmentKind::kIdle;
+
+    /** Nominal slot within the segment's timeline (0-based). */
+    std::int64_t slot = -1;
+
+    /** Timestamp the frame's content was computed for. */
+    Time content_timestamp = kTimeNone;
+
+    /** Nominal timeline timestamp (anchor + slot * period). */
+    Time timeline_timestamp = kTimeNone;
+
+    /** True when started by the Frame Pre-Executor ahead of VSync. */
+    bool pre_rendered = false;
+
+    /** Sampled workload. */
+    FrameCost cost;
+
+    /** Refresh rate in force when the frame was produced (LTPO). */
+    double rate_hz = 0.0;
+
+    /**
+     * Content value rendered by interactive frames (e.g. the finger-follow
+     * y position or the pinch distance used). NaN for animations.
+     */
+    double content_value = 0.0;
+    bool has_content_value = false;
+
+    // Stage timestamps (kTimeNone until the stage happens).
+    Time trigger_time = kTimeNone;  ///< pacer decision time
+    Time ui_start = kTimeNone;
+    Time ui_end = kTimeNone;
+    Time render_start = kTimeNone;
+    Time render_end = kTimeNone;
+    Time gpu_start = kTimeNone;     ///< kTimeNone when gpu_time == 0
+    Time gpu_end = kTimeNone;
+    Time queue_time = kTimeNone;    ///< buffer submitted to the FIFO
+    Time present_time = kTimeNone;  ///< filled by metrics at the fence
+
+    /** End-to-end producer time: trigger to queueing. */
+    Time produce_latency() const
+    {
+        return queue_time == kTimeNone ? kTimeNone
+                                       : queue_time - trigger_time;
+    }
+};
+
+} // namespace dvs
+
+#endif // DVS_PIPELINE_FRAME_H

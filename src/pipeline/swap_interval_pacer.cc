@@ -1,0 +1,86 @@
+#include "pipeline/swap_interval_pacer.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/logging.h"
+
+namespace dvs {
+
+SwapIntervalPacer::SwapIntervalPacer(SwapIntervalConfig config)
+    : config_(config)
+{
+    if (config.fixed_interval < 0 || config.max_interval < 1)
+        fatal("invalid swap-interval configuration");
+    if (config.fixed_interval > 0)
+        interval_ = config.fixed_interval;
+}
+
+void
+SwapIntervalPacer::on_segment_start(int)
+{
+    edges_since_frame_ = interval_; // fire on the first edge
+    producer_->request_vsync_trigger();
+}
+
+bool
+SwapIntervalPacer::accept_vsync_trigger(const SwVsync &sw)
+{
+    period_hint_ = period_from_hz(sw.rate_hz);
+    if (++edges_since_frame_ >= interval_) {
+        edges_since_frame_ = 0;
+        return true;
+    }
+    return false;
+}
+
+void
+SwapIntervalPacer::on_ui_complete(const FrameRecord &rec)
+{
+    if (producer_->segment_has_more(rec.segment_index))
+        producer_->request_vsync_trigger();
+}
+
+void
+SwapIntervalPacer::on_frame_queued(const FrameRecord &rec)
+{
+    recent_cost_ms_.push_back(to_ms(rec.cost.total()));
+    while (int(recent_cost_ms_.size()) > config_.window)
+        recent_cost_ms_.pop_front();
+    if (config_.fixed_interval == 0)
+        retune();
+}
+
+double
+SwapIntervalPacer::windowed_p90_ms() const
+{
+    std::vector<double> v(recent_cost_ms_.begin(), recent_cost_ms_.end());
+    std::sort(v.begin(), v.end());
+    return v[std::size_t(0.9 * double(v.size() - 1))];
+}
+
+void
+SwapIntervalPacer::retune()
+{
+    if (int(recent_cost_ms_.size()) < config_.window)
+        return;
+    const double p90 = windowed_p90_ms();
+    const double period_ms = to_ms(period_hint_);
+    const double budget = double(interval_) * period_ms;
+
+    if (p90 > config_.raise_threshold * budget &&
+        interval_ < config_.max_interval) {
+        ++interval_;
+        ++changes_;
+        debug("swap interval raised to %d (p90 %.2f ms)", interval_, p90);
+    } else if (interval_ > 1 &&
+               p90 < config_.lower_threshold *
+                         double(interval_ - 1) * period_ms) {
+        --interval_;
+        ++changes_;
+        debug("swap interval lowered to %d (p90 %.2f ms)", interval_,
+              p90);
+    }
+}
+
+} // namespace dvs

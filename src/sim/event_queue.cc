@@ -1,0 +1,79 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dvs {
+
+EventId
+EventQueue::schedule(Time when, Callback fn, EventPriority prio)
+{
+    assert(when >= now_ && "cannot schedule events in the past");
+    EventId id = next_id_++;
+    heap_.push(Entry{when, static_cast<int>(prio), next_seq_++, id});
+    callbacks_.emplace_back(id, std::move(fn));
+    ++live_count_;
+    return id;
+}
+
+EventQueue::Callback *
+EventQueue::find_callback(EventId id)
+{
+    for (auto &kv : callbacks_) {
+        if (kv.first == id)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    Callback *cb = find_callback(id);
+    if (!cb || !*cb)
+        return false;
+    *cb = nullptr; // heap entry is skipped lazily at dispatch
+    --live_count_;
+    return true;
+}
+
+Time
+EventQueue::next_event_time() const
+{
+    // Cancelled entries may sit at the top of the heap; they are rare and
+    // only make this bound conservative (an earlier, dead entry). Callers
+    // use this for horizons, where conservative is fine.
+    return heap_.empty() ? kTimeNone : heap_.top().when;
+}
+
+std::uint64_t
+EventQueue::run_until(Time horizon, bool advance_to_horizon)
+{
+    std::uint64_t n = 0;
+    while (!heap_.empty() && heap_.top().when <= horizon) {
+        Entry e = heap_.top();
+        heap_.pop();
+
+        Callback fn;
+        for (auto it = callbacks_.begin(); it != callbacks_.end(); ++it) {
+            if (it->first == e.id) {
+                fn = std::move(it->second);
+                callbacks_.erase(it);
+                break;
+            }
+        }
+        if (!fn)
+            continue; // cancelled
+
+        now_ = e.when;
+        --live_count_;
+        ++dispatched_;
+        ++n;
+        fn();
+    }
+    if (advance_to_horizon && horizon != kTimeMax && now_ < horizon)
+        now_ = horizon;
+    return n;
+}
+
+} // namespace dvs

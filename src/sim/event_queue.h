@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events are executed in (time, priority, insertion-sequence) order, which
+ * makes simulations fully reproducible: two events scheduled for the same
+ * tick with the same priority run in the order they were scheduled.
+ */
+
+#ifndef DVS_SIM_EVENT_QUEUE_H
+#define DVS_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dvs {
+
+/**
+ * Priorities order events that fire at the same tick. Lower values run
+ * first. The defaults encode the natural hardware/software layering: the
+ * display latches a buffer before software reacts to the same vsync edge.
+ */
+enum class EventPriority : int {
+    kDisplay = 0,   ///< panel refresh / buffer latch
+    kSegment = 5,    ///< scenario segment boundaries
+    kVsyncDist = 10, ///< software vsync distribution
+    kPipeline = 20,  ///< pipeline stage completions
+    kDefault = 50,   ///< everything else
+    kMetrics = 90,   ///< end-of-tick bookkeeping
+};
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * The queue owns the virtual clock: `now()` advances only as events are
+ * dispatched. Callbacks may schedule further events (including at the
+ * current time, which run after all currently pending same-tick events of
+ * lower or equal ordering).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current virtual time. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * @pre when >= now()
+     * @return an id usable with cancel().
+     */
+    EventId schedule(Time when, Callback fn,
+                     EventPriority prio = EventPriority::kDefault);
+
+    /** Schedule @p fn to run @p delay after the current time. */
+    EventId
+    schedule_in(Time delay, Callback fn,
+                EventPriority prio = EventPriority::kDefault)
+    {
+        return schedule(now_ + delay, std::move(fn), prio);
+    }
+
+    /**
+     * Cancel a pending event. Cancelling an already-fired or unknown id is
+     * a no-op.
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** Whether any events remain pending. */
+    bool empty() const { return live_count_ == 0; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return live_count_; }
+
+    /** Time of the earliest pending event, or kTimeNone when empty. */
+    Time next_event_time() const;
+
+    /**
+     * Run events until the queue empties or the next event lies beyond
+     * @p horizon. The clock is left at the last dispatched event (or moved
+     * to @p horizon when @p advance_to_horizon is set).
+     * @return number of events dispatched.
+     */
+    std::uint64_t run_until(Time horizon, bool advance_to_horizon = true);
+
+    /** Run all events to exhaustion. @return number dispatched. */
+    std::uint64_t run() { return run_until(kTimeMax, false); }
+
+    /** Total number of events dispatched over the queue's lifetime. */
+    std::uint64_t dispatched() const { return dispatched_; }
+
+  private:
+    struct Entry {
+        Time when;
+        int prio;
+        std::uint64_t seq;
+        EventId id;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (prio != o.prio)
+                return prio > o.prio;
+            return seq > o.seq;
+        }
+    };
+
+    // The callback map is kept separate from the heap entries so cancel()
+    // is O(1); cancelled entries are skipped lazily at dispatch.
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::vector<std::pair<EventId, Callback>> callbacks_;
+
+    Callback *find_callback(EventId id);
+
+    Time now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t next_id_ = 1;
+    std::uint64_t dispatched_ = 0;
+    std::size_t live_count_ = 0;
+};
+
+} // namespace dvs
+
+#endif // DVS_SIM_EVENT_QUEUE_H

@@ -1,0 +1,86 @@
+#include "sim/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dvs {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+void
+vlog(const char *tag, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+}
+
+} // namespace
+
+void
+set_log_level(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+log_level()
+{
+    return g_level;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlog("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlog("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (g_level < LogLevel::kWarn)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vlog("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level < LogLevel::kInform)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vlog("info", fmt, ap);
+    va_end(ap);
+}
+
+void
+debug(const char *fmt, ...)
+{
+    if (g_level < LogLevel::kDebug)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vlog("debug", fmt, ap);
+    va_end(ap);
+}
+
+} // namespace dvs

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal leveled logging for the simulator.
+ *
+ * Follows the gem5 split: panic() for internal invariant violations (bugs),
+ * fatal() for user/configuration errors, warn()/inform() for status. Trace
+ * logging is off by default and gated by a global level so hot paths pay a
+ * single branch.
+ */
+
+#ifndef DVS_SIM_LOGGING_H
+#define DVS_SIM_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace dvs {
+
+enum class LogLevel : int {
+    kNone = 0,
+    kWarn = 1,
+    kInform = 2,
+    kDebug = 3,
+    kTrace = 4,
+};
+
+/** Set the global log verbosity (default: kWarn). */
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/** Abort with a message: an internal simulator bug. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a message: a user/configuration error. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning about questionable but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Verbose debugging output (only when level >= kDebug). */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace dvs
+
+#endif // DVS_SIM_LOGGING_H

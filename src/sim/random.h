@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic random number generation for simulations.
+ *
+ * A thin xoshiro256++ generator plus the distribution helpers the workload
+ * models need. std::mt19937 and the std <random> distributions are avoided
+ * deliberately: their outputs differ across standard library versions,
+ * which would break cross-platform reproducibility of the benches.
+ */
+
+#ifndef DVS_SIM_RANDOM_H
+#define DVS_SIM_RANDOM_H
+
+#include <cstdint>
+
+namespace dvs {
+
+/**
+ * Deterministic PRNG (xoshiro256++) with distribution helpers.
+ *
+ * All simulations take a seed; the same seed always produces the same
+ * sequence of frames and therefore the same statistics.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 1);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next_u64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p);
+
+    /** Standard normal via Box-Muller (deterministic; no cached spare). */
+    double normal(double mean = 0.0, double stddev = 1.0);
+
+    /**
+     * Lognormal: exp(N(mu, sigma)). Models the bulk of short frames whose
+     * cost clusters around a mode with a mild right tail.
+     */
+    double lognormal(double mu, double sigma);
+
+    /**
+     * Bounded Pareto on [lo, hi] with tail index @p alpha. Models the
+     * heavy-tailed key frames of the paper's power-law observation:
+     * smaller alpha means heavier tail.
+     */
+    double bounded_pareto(double alpha, double lo, double hi);
+
+    /** Exponential with the given mean. */
+    double exponential(double mean);
+
+    /** Fork an independent stream (for per-entity sub-generators). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace dvs
+
+#endif // DVS_SIM_RANDOM_H

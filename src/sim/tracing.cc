@@ -1,0 +1,142 @@
+#include "sim/tracing.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace dvs {
+namespace {
+
+/** Minimal JSON string escaping (names are simple but be safe). */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+TraceLog::track_id(const std::string &track)
+{
+    for (std::size_t i = 0; i < tracks_.size(); ++i) {
+        if (tracks_[i] == track)
+            return int(i) + 1;
+    }
+    tracks_.push_back(track);
+    return int(tracks_.size());
+}
+
+void
+TraceLog::duration(const std::string &track, const std::string &name,
+                   Time start, Time end)
+{
+    events_.push_back(
+        Event{'X', track, name, start, end - start, 0.0});
+}
+
+void
+TraceLog::instant(const std::string &track, const std::string &name,
+                  Time at)
+{
+    events_.push_back(Event{'i', track, name, at, 0, 0.0});
+}
+
+void
+TraceLog::counter(const std::string &name, Time at, double value)
+{
+    events_.push_back(Event{'C', "counters", name, at, 0, value});
+}
+
+std::string
+TraceLog::to_json() const
+{
+    // Chrome trace format: timestamps in microseconds, pid/tid tracks.
+    std::string out = "[\n";
+    char buf[512];
+    // Thread-name metadata so tracks render with their labels.
+    std::vector<std::string> tracks;
+    for (const Event &e : events_) {
+        bool seen = false;
+        for (const auto &t : tracks)
+            seen |= t == e.track;
+        if (!seen)
+            tracks.push_back(e.track);
+    }
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\":\"M\",\"pid\":1,\"tid\":%zu,"
+                      "\"name\":\"thread_name\",\"args\":{\"name\":"
+                      "\"%s\"}},\n",
+                      i + 1, escape(tracks[i]).c_str());
+        out += buf;
+    }
+
+    auto tid_of = [&](const std::string &track) {
+        for (std::size_t i = 0; i < tracks.size(); ++i) {
+            if (tracks[i] == track)
+                return i + 1;
+        }
+        return std::size_t(0);
+    };
+
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const Event &e = events_[i];
+        const double ts = to_us(e.start);
+        switch (e.phase) {
+          case 'X':
+            std::snprintf(buf, sizeof(buf),
+                          "{\"ph\":\"X\",\"pid\":1,\"tid\":%zu,"
+                          "\"name\":\"%s\",\"ts\":%.3f,\"dur\":%.3f}",
+                          tid_of(e.track), escape(e.name).c_str(), ts,
+                          to_us(e.duration));
+            break;
+          case 'i':
+            std::snprintf(buf, sizeof(buf),
+                          "{\"ph\":\"i\",\"pid\":1,\"tid\":%zu,"
+                          "\"name\":\"%s\",\"ts\":%.3f,\"s\":\"t\"}",
+                          tid_of(e.track), escape(e.name).c_str(), ts);
+            break;
+          case 'C':
+            std::snprintf(buf, sizeof(buf),
+                          "{\"ph\":\"C\",\"pid\":1,\"name\":\"%s\","
+                          "\"ts\":%.3f,\"args\":{\"value\":%g}}",
+                          escape(e.name).c_str(), ts, e.value);
+            break;
+        }
+        out += buf;
+        if (i + 1 < events_.size())
+            out += ',';
+        out += '\n';
+    }
+    out += "]\n";
+    return out;
+}
+
+bool
+TraceLog::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << to_json();
+    return bool(out);
+}
+
+} // namespace dvs

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Chrome-trace event logging.
+ *
+ * Real rendering-system work leans heavily on runtime traces (the paper
+ * cites Perfetto; §7 notes that "graphics programmers often rely on
+ * runtime traces to locate performance bottlenecks"). This logger
+ * records duration and instant events from a simulation and exports the
+ * Chrome trace-event JSON format, loadable in chrome://tracing or the
+ * Perfetto UI, with one track per simulated thread.
+ */
+
+#ifndef DVS_SIM_TRACING_H
+#define DVS_SIM_TRACING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dvs {
+
+/**
+ * Collects trace events during a run and serializes them as Chrome
+ * trace-event JSON.
+ */
+class TraceLog
+{
+  public:
+    /** Record a complete duration event on a named track. */
+    void duration(const std::string &track, const std::string &name,
+                  Time start, Time end);
+
+    /** Record an instant event (vertical marker). */
+    void instant(const std::string &track, const std::string &name,
+                 Time at);
+
+    /** Record a counter sample (e.g. buffer-queue depth). */
+    void counter(const std::string &name, Time at, double value);
+
+    std::size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+    void clear() { events_.clear(); }
+
+    /** Serialize as Chrome trace-event JSON (an array of event objects). */
+    std::string to_json() const;
+
+    /** Write the JSON to @p path. @return success. */
+    bool save(const std::string &path) const;
+
+  private:
+    struct Event {
+        char phase;        // 'X' duration, 'i' instant, 'C' counter
+        std::string track; // becomes the tid
+        std::string name;
+        Time start;
+        Time duration;
+        double value;
+    };
+
+    int track_id(const std::string &track);
+
+    std::vector<Event> events_;
+    std::vector<std::string> tracks_;
+};
+
+} // namespace dvs
+
+#endif // DVS_SIM_TRACING_H

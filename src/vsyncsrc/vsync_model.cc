@@ -1,0 +1,106 @@
+#include "vsyncsrc/vsync_model.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/logging.h"
+
+namespace dvs {
+
+VsyncModel::VsyncModel(Time nominal_period, int window)
+    : nominal_period_(nominal_period), period_(nominal_period),
+      window_(window)
+{
+    if (nominal_period <= 0)
+        fatal("VsyncModel period must be positive");
+    if (window < 2)
+        fatal("VsyncModel window must be >= 2");
+}
+
+void
+VsyncModel::add_sample(Time edge, int grid_steps)
+{
+    if (grid_steps < 1)
+        fatal("grid_steps must be >= 1");
+    ++n_samples_;
+    if (last_edge_ != kTimeNone && edge > last_edge_) {
+        // A rate change or long gap makes old deltas meaningless: restart
+        // the window when the step deviates far from the *recent* deltas
+        // (comparing against the stale period estimate would keep
+        // rejecting every sample of the new cadence). Sparse calibration
+        // steps are normalized to per-edge deltas first.
+        const Time delta = (edge - last_edge_) / grid_steps;
+        if (!recent_.empty()) {
+            const Time ref =
+                std::accumulate(recent_.begin(), recent_.end(), Time(0)) /
+                Time(recent_.size());
+            const Time dev = delta > ref ? delta - ref : ref - delta;
+            if (dev > ref / 4)
+                recent_.clear();
+        }
+        recent_.push_back(delta);
+        while (int(recent_.size()) > window_)
+            recent_.pop_front();
+    }
+    last_edge_ = edge;
+
+    if (recent_.size() >= 2) {
+        const Time sum =
+            std::accumulate(recent_.begin(), recent_.end(), Time(0));
+        period_ = sum / Time(recent_.size());
+    }
+}
+
+Time
+VsyncModel::predict_next(Time t) const
+{
+    if (last_edge_ == kTimeNone) {
+        // No samples yet: assume the grid is anchored at zero.
+        if (t < 0)
+            return 0;
+        return (t / period_ + 1) * period_;
+    }
+    if (t < last_edge_)
+        return last_edge_;
+    const Time k = (t - last_edge_) / period_ + 1;
+    return last_edge_ + k * period_;
+}
+
+Time
+VsyncModel::predict_after_last(int k) const
+{
+    const Time base = last_edge_ == kTimeNone ? 0 : last_edge_;
+    return base + Time(k) * period_;
+}
+
+Time
+VsyncModel::prediction_error(Time actual) const
+{
+    if (last_edge_ == kTimeNone)
+        return 0;
+    // Nearest predicted grid point to the actual edge.
+    const Time steps = (actual - last_edge_ + period_ / 2) / period_;
+    const Time predicted = last_edge_ + steps * period_;
+    return actual - predicted;
+}
+
+void
+VsyncModel::reset()
+{
+    period_ = nominal_period_;
+    last_edge_ = kTimeNone;
+    recent_.clear();
+    n_samples_ = 0;
+}
+
+void
+VsyncModel::set_nominal_period(Time period)
+{
+    if (period <= 0)
+        fatal("VsyncModel period must be positive");
+    nominal_period_ = period;
+    period_ = period;
+    recent_.clear();
+}
+
+} // namespace dvs

@@ -1,0 +1,26 @@
+#include "workload/frame_cost.h"
+
+#include "sim/logging.h"
+
+namespace dvs {
+
+PeriodicSpikeCostModel::PeriodicSpikeCostModel(FrameCost base,
+                                               FrameCost spike,
+                                               std::int64_t spike_interval,
+                                               std::int64_t spike_phase)
+    : base_(base), spike_(spike), interval_(spike_interval),
+      phase_(spike_phase)
+{
+    if (interval_ <= 0)
+        fatal("spike interval must be positive");
+}
+
+FrameCost
+PeriodicSpikeCostModel::cost_for(std::int64_t nominal_index) const
+{
+    if ((nominal_index + phase_) % interval_ == 0)
+        return spike_;
+    return base_;
+}
+
+} // namespace dvs

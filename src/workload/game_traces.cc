@@ -1,0 +1,66 @@
+#include "workload/game_traces.h"
+
+#include <cstdio>
+
+#include "workload/app_profiles.h"
+#include "workload/distributions.h"
+
+namespace dvs {
+
+const std::vector<GameInfo> &
+game_list()
+{
+    static const std::vector<GameInfo> games = {
+        {"Honor of Kings (UI)", 60.0, 1.45, true},
+        {"Identity V (UI)", 30.0, 1.30, true},
+        {"Game for Peace (UI)", 30.0, 1.20, true},
+        {"RTK Mobile", 30.0, 1.10, false},
+        {"CF: Legends (UI)", 60.0, 1.00, true},
+        {"Survive", 60.0, 0.95, false},
+        {"8 Ball Pool", 60.0, 0.90, false},
+        {"Happy Poker", 30.0, 0.80, false},
+        {"Thief Puzzle", 60.0, 0.70, false},
+        {"Teamfight Tactics", 30.0, 0.65, false},
+        {"TK: Conspiracy", 30.0, 0.60, false},
+        {"FWJ", 60.0, 0.50, false},
+        {"Original Legends", 60.0, 0.45, false},
+        {"PvZ 2", 30.0, 0.35, false},
+        {"LTK", 90.0, 0.25, false},
+    };
+    return games;
+}
+
+FrameTrace
+make_game_trace(const GameInfo &game, Time duration, std::uint64_t seed)
+{
+    // Game frames are render-dominated (scene rasterization on the GPU);
+    // UI-overlay traces carry a slightly larger CPU share for the HUD.
+    ProfileSpec spec;
+    spec.name = game.name;
+    spec.paper_fdps = game.paper_fdps;
+    spec.heavy_per_sec = game.paper_fdps * 1.75;
+    spec.heavy_min_periods = 1.15;
+    spec.heavy_max_periods = game.ui_overlay ? 3.2 : 2.8;
+    spec.heavy_alpha = 1.5;
+    spec.heavy_burst = game.ui_overlay ? 0.2 : 0.1;
+    spec.short_mean_periods = 0.55; // games run closer to the deadline
+    spec.short_sigma = 0.25;
+    spec.ui_fraction = game.ui_overlay ? 0.25 : 0.12;
+
+    const PowerLawCostModel model(make_params(spec, game.rate_hz), seed);
+
+    FrameTrace trace;
+    trace.rate_hz = game.rate_hz;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s @%gHz", game.name, game.rate_hz);
+    trace.name = buf;
+
+    const std::int64_t frames =
+        std::int64_t(to_seconds(duration) * game.rate_hz);
+    trace.frames.reserve(std::size_t(frames));
+    for (std::int64_t i = 0; i < frames; ++i)
+        trace.frames.push_back(model.cost_for(i));
+    return trace;
+}
+
+} // namespace dvs

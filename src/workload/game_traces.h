@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The 15 mobile games of the paper's simulation study (§6.1, Fig. 14).
+ *
+ * The paper collects per-frame CPU/GPU traces of the games' UI and scene
+ * animations and replays them under the D-VSync pattern in scripts (the
+ * games use custom engines that bypass the OS framework, so the evaluation
+ * is trace-driven). We synthesize equivalent traces: per-frame costs at
+ * each game's target frame rate with power-law key frames calibrated to
+ * the game's reported baseline FDPS.
+ */
+
+#ifndef DVS_WORKLOAD_GAME_TRACES_H
+#define DVS_WORKLOAD_GAME_TRACES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/trace.h"
+
+namespace dvs {
+
+/** One game of Fig. 14. */
+struct GameInfo {
+    const char *name;  ///< figure label (without the rate suffix)
+    double rate_hz;    ///< target frame rate from the figure
+    double paper_fdps; ///< baseline VSync (3 buffers) FDPS from Fig. 14
+    bool ui_overlay;   ///< "(UI)" games: overlay animation traces
+};
+
+/** All 15 games in Fig. 14 order. */
+const std::vector<GameInfo> &game_list();
+
+/**
+ * Synthesize a runtime trace for @p game covering @p duration, with
+ * per-frame CPU (treated as UI-stage) and GPU (render-stage) time.
+ */
+FrameTrace make_game_trace(const GameInfo &game, Time duration,
+                           std::uint64_t seed);
+
+} // namespace dvs
+
+#endif // DVS_WORKLOAD_GAME_TRACES_H

@@ -1,0 +1,354 @@
+#include "workload/os_case_profiles.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.h"
+
+namespace dvs {
+
+const char *
+to_string(OsConfig c)
+{
+    switch (c) {
+      case OsConfig::kMate40Gles:
+        return "Mate 40 Pro (90Hz, GLES)";
+      case OsConfig::kMate60Gles:
+        return "Mate 60 Pro (120Hz, GLES)";
+      case OsConfig::kMate60Vk:
+        return "Mate 60 Pro (120Hz, Vulkan)";
+    }
+    return "?";
+}
+
+double
+os_config_refresh_hz(OsConfig c)
+{
+    return c == OsConfig::kMate40Gles ? 90.0 : 120.0;
+}
+
+const std::vector<OsCase> &
+os_cases()
+{
+    // Columns: id, category, description, abbreviation,
+    //          FDPS on {Mate40 GLES, Mate60 GLES, Mate60 Vulkan}.
+    // FDPS values follow Figures 12/13 (zero = no drops reported there).
+    static const std::vector<OsCase> cases = {
+        {1, "Phone Unlocking",
+         "Swipe upwards in the lock screen to enter the password page",
+         "lock to pswd", 0, 3.0, 3.8},
+        {2, "Phone Unlocking",
+         "The fly-in animation of the sceneboard after entering the last "
+         "digit of the password",
+         "pswd to desk", 0, 0, 0},
+        {3, "Phone Unlocking",
+         "Swipe upwards in the lock screen to unlock the phone (without "
+         "password)",
+         "unlock lock", 0, 0, 9.5},
+        {4, "Phone Unlocking",
+         "The fly-in animation of the sceneboard (without password)",
+         "lock to desk", 0, 0, 0},
+        {5, "Sceneboard",
+         "Slide the sceneboard pages left and right (with default "
+         "pre-installed apps)",
+         "slide desk", 0, 0, 0},
+        {6, "Sceneboard",
+         "Slide the sceneboard pages left and right when exiting an app",
+         "exit app slide", 0, 0, 2.3},
+        {7, "Sceneboard",
+         "Slide the sceneboard pages left and right with full folders",
+         "slide full fd", 0, 0, 0},
+        {8, "App Operation", "App opening animation when clicking an app",
+         "open app", 0, 0, 0},
+        {9, "App Operation", "App closing animation when swiping upwards",
+         "close app", 0, 0, 0},
+        {10, "App Operation",
+         "App closing animation when sliding rightwards", "sld cls app", 0,
+         0, 0},
+        {11, "App Operation",
+         "Quickly open and close apps one after another", "qk opn apps", 0,
+         0, 2.7},
+        {12, "Folder", "Folder opening animation when clicking a folder",
+         "open fd", 0, 0, 0},
+        {13, "Folder",
+         "Folder closing animation when tapping the empty space outside",
+         "tap cls fd", 0, 2.4, 0},
+        {14, "Folder",
+         "Folder closing animation when sliding rightwards", "sld cls fd",
+         0, 4.5, 0},
+        {15, "Folder", "Folder closing animation when swiping upwards",
+         "swp cls fd", 0, 0, 0},
+        {16, "Cards",
+         "Long click the photos app and the cards show up", "shw ph cd", 0,
+         0, 2.0},
+        {17, "Cards",
+         "Tap the empty space outside to close the cards of the photos app",
+         "cls ph cd", 0, 0, 0},
+        {18, "Cards", "Long click the memos app and the cards show up",
+         "shw mem cd", 0, 0, 0},
+        {19, "Cards",
+         "Tap the empty space outside to close the cards of the memos app",
+         "cls mem cd", 0, 0, 0},
+        {20, "Notification Center",
+         "Swipe downwards to open the notification center", "open notif ctr",
+         0, 0, 3.0},
+        {21, "Notification Center",
+         "Swipe upwards to close the notification center", "cls notif ctr",
+         4.1, 7.0, 23.0},
+        {22, "Notification Center",
+         "Tap the empty space to close the notification center",
+         "tap cls notif", 0, 0, 17.0},
+        {23, "Notification Center",
+         "Click the trash can button to clear all notifications",
+         "clr all notif", 1.7, 9.0, 15.5},
+        {24, "Notification Center",
+         "Slide rightwards to delete one notification and the bottom ones "
+         "move up",
+         "del one notif", 0, 0, 14.0},
+        {25, "Control Center",
+         "Swipe downwards to open the control center", "open ctrl ctr", 0,
+         4.0, 4.6},
+        {26, "Control Center",
+         "Swipe upwards to close the control center", "cls ctrl ctr", 0,
+         2.1, 12.5},
+        {27, "Control Center",
+         "Tap the empty space to close the control center", "tap cls ctrl",
+         0, 0, 10.5},
+        {28, "Control Center",
+         "Click the unfold button to show all control buttons",
+         "shw ctrl btns", 0, 10.0, 0},
+        {29, "Control Center",
+         "Screen rotation button animation when clicking on the button",
+         "rot btn anim", 0, 0, 20.0},
+        {30, "Control Center",
+         "Click the settings button in the control center to enter the "
+         "settings",
+         "clck settings", 0, 34.0, 0},
+        {31, "Control Center",
+         "Adjust the screen brightness in the control center", "brtness adj",
+         0, 0, 2.1},
+        {32, "Volume Bar",
+         "The volume bar appears when clicking the physical volume "
+         "adjustment button",
+         "shw vol bar", 0, 0, 0},
+        {33, "Volume Bar",
+         "Disappearing animation of the volume bar after some time of no "
+         "operation",
+         "vol bar gone", 0, 0, 0},
+        {34, "Volume Bar",
+         "Short click the physical volume adjustment button to adjust "
+         "volume",
+         "clck adj vol", 0, 0, 0},
+        {35, "Volume Bar",
+         "Long click the physical volume adjustment button to adjust "
+         "volume",
+         "lclck adj vol", 0, 0, 0},
+        {36, "Volume Bar",
+         "Slide the volume bar on the screen to adjust volume",
+         "sld adj vol", 0, 0, 0},
+        {37, "Volume Bar", "Tap the empty space to hide the volume bar",
+         "hide vol bar", 0, 0, 0},
+        {38, "Tasks", "Swipe upwards on the sceneboard to enter tasks",
+         "opn tasks dsk", 0, 0, 0},
+        {39, "Tasks", "Swipe upwards on the app to enter tasks",
+         "opn tasks app", 0, 0, 0},
+        {40, "Tasks", "Slide the tasks left and right", "sld tasks", 0, 0,
+         0},
+        {41, "Tasks",
+         "Swipe upwards to delete one task and the last task moves "
+         "rightwards",
+         "del one task", 0, 0, 0},
+        {42, "Tasks",
+         "Click the trash can button to clear all tasks and go back to the "
+         "sceneboard",
+         "clr all tasks", 0, 0, 8.0},
+        {43, "Tasks", "Tap the empty space to leave the tasks",
+         "leave tasks", 0, 0, 0},
+        {44, "Tasks", "Click one task to enter the app", "task open app", 0,
+         0, 0},
+        {45, "HiBoard",
+         "Slide rightwards from the first page of the sceneboard to enter "
+         "HiBoard",
+         "enter hibd", 0, 0, 4.2},
+        {46, "HiBoard",
+         "Click the weather card on HiBoard to enter weather app",
+         "clck hibd cd", 0, 2.7, 7.5},
+        {47, "HiBoard",
+         "Swipe upwards in the weather app to return to HiBoard",
+         "swp ret hibd", 0, 0, 2.5},
+        {48, "HiBoard",
+         "Slide rightwards in the weather app to return to HiBoard",
+         "sld ret hibd", 0, 0, 6.5},
+        {49, "Global Search", "Swipe downwards to open global search",
+         "open search", 0, 0, 3.4},
+        {50, "Global Search", "Slide rightwards to close global search",
+         "cls search", 0, 0, 0},
+        {51, "Keyboard",
+         "Click the browser search bar to show the virtual keyboard",
+         "shw kb", 0, 0, 0},
+        {52, "Keyboard",
+         "Click the keyboard hide button to hide the virtual keyboard",
+         "hide kb", 0, 0, 0},
+        {53, "Screen Rotation",
+         "Rotate the screen from vertical to horizontal when displaying a "
+         "full-screen photo",
+         "vert ph hori", 0, 0, 0},
+        {54, "Screen Rotation",
+         "Rotate the screen from horizontal to vertical when displaying a "
+         "full-screen photo",
+         "hori ph vert", 0, 0, 0},
+        {55, "Screen Rotation",
+         "Rotate the screen from vertical to horizontal when displaying an "
+         "app",
+         "vert to hori", 2.6, 12.0, 5.5},
+        {56, "Screen Rotation",
+         "Rotate the screen from horizontal to vertical when displaying an "
+         "app",
+         "hori to vert", 2.2, 8.0, 0},
+        {57, "Photos", "Scroll the albums in the photos app", "scrl albums",
+         0, 6.0, 7.0},
+        {58, "Photos", "Click into one album and enter its photo list",
+         "open album", 0, 0, 5.0},
+        {59, "Photos", "Scroll the photo list in the photos app",
+         "scrl photos", 1.3, 7.5, 0},
+        {60, "Photos",
+         "Click into one photo and view the photo in full screen",
+         "clck photo", 0, 0, 0},
+        {61, "Photos", "Browse the full-screen photo", "brws photo", 0, 0,
+         0},
+        {62, "Photos",
+         "Swipe downwards the full-screen photo to return to the photo "
+         "list",
+         "ret photos", 0, 0, 0},
+        {63, "Photos",
+         "Slide rightwards the full-screen photo to return to the photo "
+         "list",
+         "sld ret photos", 0, 0, 0},
+        {64, "Photos",
+         "Click the back button in the photo list to return to the album "
+         "list",
+         "ret albums", 0, 0, 0},
+        {65, "Camera",
+         "Click the photo preview in the camera app to enter the photos "
+         "app",
+         "cam to pht", 0, 3.5, 8.5},
+        {66, "Camera",
+         "Slide rightwards from the photos app to return to the camera app",
+         "pht to cam", 7.3, 5.0, 11.5},
+        {67, "Camera",
+         "Slide inside the camera app to select between camera modes",
+         "cam mode sel", 3.2, 0, 19.0},
+        {68, "Browser",
+         "Click the pages button to see all the opening pages in the "
+         "browser app",
+         "brwsr pages", 0, 0, 0},
+        {69, "Settings",
+         "Scroll the settings in the main page of the settings app",
+         "scrl sets", 0, 1.8, 0},
+        {70, "Settings",
+         "Click the bluetooth setting in the settings app to enter the "
+         "subpage",
+         "clck bt", 0, 0, 0},
+        {71, "Settings",
+         "Click the WLAN setting in the settings app to enter the subpage",
+         "clck wlan", 0, 0, 0},
+        {72, "Settings",
+         "Click the login tab in the settings app to enter the subpage",
+         "clck login", 0, 0, 0},
+        {73, "Other Apps", "Scroll the main page of WeChat", "scrl wechat",
+         1.0, 5.5, 6.0},
+        {74, "Other Apps", "Scroll the videos of TikTok", "scrl tiktok", 0,
+         6.5, 9.0},
+        {75, "Other Apps", "Scroll the video lists of Videos", "scrl videos",
+         5.2, 18.0, 0},
+    };
+    return cases;
+}
+
+double
+case_fdps(const OsCase &c, OsConfig config)
+{
+    switch (config) {
+      case OsConfig::kMate40Gles:
+        return c.fdps_mate40_gles;
+      case OsConfig::kMate60Gles:
+        return c.fdps_mate60_gles;
+      case OsConfig::kMate60Vk:
+        return c.fdps_mate60_vk;
+    }
+    return 0.0;
+}
+
+const OsCase *
+find_os_case(const std::string &abbrev)
+{
+    for (const OsCase &c : os_cases()) {
+        if (abbrev == c.abbrev)
+            return &c;
+    }
+    return nullptr;
+}
+
+std::vector<const OsCase *>
+cases_with_drops(OsConfig config)
+{
+    std::vector<const OsCase *> out;
+    for (const OsCase &c : os_cases()) {
+        if (case_fdps(c, config) > 0)
+            out.push_back(&c);
+    }
+    std::sort(out.begin(), out.end(),
+              [config](const OsCase *a, const OsCase *b) {
+                  return case_fdps(*a, config) > case_fdps(*b, config);
+              });
+    return out;
+}
+
+ProfileSpec
+make_os_case_spec(const OsCase &c, OsConfig config)
+{
+    const double fdps = case_fdps(c, config);
+    ProfileSpec s;
+    s.name = c.abbrev;
+    s.paper_fdps = fdps;
+    // Same absorption calibration as the app profiles.
+    s.heavy_per_sec = fdps * 1.75;
+
+    // Scrolling cases scatter isolated key frames (new list items being
+    // inflated); one-shot transitions (rotation, window blur, page
+    // entry) include somewhat heavier effects. Even the worst cases are
+    // key-frame-dominated, not sustained overload: the notification
+    // center at 95-105 FPS on a 120 Hz panel still renders most frames
+    // quickly, which is exactly why D-VSync can absorb them (§6.1).
+    const double hz = os_config_refresh_hz(config);
+    const bool scroll = std::strncmp(c.abbrev, "scrl", 4) == 0 ||
+                        std::strncmp(c.abbrev, "sld", 3) == 0 ||
+                        std::strncmp(c.abbrev, "slide", 5) == 0;
+    if (fdps > hz / 20.0) {
+        // Cases dropping >5% of refreshes (e.g. the notification center
+        // at 95-105 FPS on the 120 Hz panel): heavyweight effect frames
+        // (window blur, relayout) overshooting the tight 8.3 ms deadline
+        // by one to two periods. Each janks under VSync; D-VSync's
+        // accumulated back buffers ride across them.
+        s.heavy_min_periods = 1.6;
+        s.heavy_max_periods = 2.8;
+        s.heavy_alpha = 1.6;
+        s.heavy_burst = 0.02;
+        // One-shot transitions are short (~200 ms of animation), which
+        // is what concentrates their drops into a high FDPS.
+        s.window_fraction = 0.36;
+    } else if (scroll) {
+        s.heavy_min_periods = 1.15;
+        s.heavy_max_periods = 2.6;
+        s.heavy_alpha = 1.8;
+        s.heavy_burst = 0.10;
+    } else {
+        s.heavy_min_periods = 1.2;
+        s.heavy_max_periods = 3.2;
+        s.heavy_alpha = 1.5;
+        s.heavy_burst = 0.15;
+    }
+    return s;
+}
+
+} // namespace dvs

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The 75 common OS use cases of the paper's Appendix A (Table 3).
+ *
+ * Each case carries its category, description, and abbreviation exactly as
+ * listed in the appendix, plus the baseline VSync FDPS the paper reports
+ * for it on each evaluated configuration (Figures 12 and 13; zero when the
+ * case showed no frame drops on that configuration).
+ */
+
+#ifndef DVS_WORKLOAD_OS_CASE_PROFILES_H
+#define DVS_WORKLOAD_OS_CASE_PROFILES_H
+
+#include <string>
+#include <vector>
+
+#include "workload/app_profiles.h"
+
+namespace dvs {
+
+/** Evaluated device/backend configurations for the OS use cases. */
+enum class OsConfig {
+    kMate40Gles, ///< Mate 40 Pro, 90 Hz, GLES (Fig. 13 left)
+    kMate60Gles, ///< Mate 60 Pro, 120 Hz, GLES (Fig. 13 right)
+    kMate60Vk,   ///< Mate 60 Pro, 120 Hz, Vulkan (Fig. 12)
+};
+
+const char *to_string(OsConfig c);
+
+/** Refresh rate of a configuration. */
+double os_config_refresh_hz(OsConfig c);
+
+/** One of the 75 use cases (Appendix A, Table 3). */
+struct OsCase {
+    int id;                  ///< 1-based row in Table 3
+    const char *category;    ///< e.g. "Notification Center"
+    const char *description; ///< full description from Table 3
+    const char *abbrev;      ///< figure abbreviation, e.g. "cls notif ctr"
+
+    /** Paper-reported baseline FDPS per configuration (0 = no drops). */
+    double fdps_mate40_gles;
+    double fdps_mate60_gles;
+    double fdps_mate60_vk;
+};
+
+/** All 75 cases, in Table 3 order. */
+const std::vector<OsCase> &os_cases();
+
+/** Paper FDPS of a case under a configuration. */
+double case_fdps(const OsCase &c, OsConfig config);
+
+/** Look up a case by abbreviation. @return nullptr when unknown. */
+const OsCase *find_os_case(const std::string &abbrev);
+
+/**
+ * Cases with reported frame drops under @p config, in descending FDPS
+ * order (the population Figures 12/13 chart).
+ */
+std::vector<const OsCase *> cases_with_drops(OsConfig config);
+
+/**
+ * Build the workload spec of a case for a configuration. The spec's
+ * tail shape depends on the case category: scrolling cases scatter
+ * moderate key frames; transition/animation cases front-load heavier
+ * ones (window blur, rotation relayout).
+ */
+ProfileSpec make_os_case_spec(const OsCase &c, OsConfig config);
+
+} // namespace dvs
+
+#endif // DVS_WORKLOAD_OS_CASE_PROFILES_H

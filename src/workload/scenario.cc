@@ -1,0 +1,141 @@
+#include "workload/scenario.h"
+
+#include "sim/logging.h"
+
+namespace dvs {
+
+const char *
+to_string(SegmentKind k)
+{
+    switch (k) {
+      case SegmentKind::kAnimation:
+        return "animation";
+      case SegmentKind::kInteraction:
+        return "interaction";
+      case SegmentKind::kRealtime:
+        return "realtime";
+      case SegmentKind::kIdle:
+        return "idle";
+    }
+    return "?";
+}
+
+Scenario &
+Scenario::animate(Time duration, std::shared_ptr<const FrameCostModel> cost,
+                  std::string label)
+{
+    if (!cost)
+        fatal("animation segments need a cost model");
+    Segment s;
+    s.kind = SegmentKind::kAnimation;
+    s.duration = duration;
+    s.cost = std::move(cost);
+    s.label = std::move(label);
+    segments_.push_back(std::move(s));
+    return *this;
+}
+
+Scenario &
+Scenario::interact(std::shared_ptr<const TouchStream> touch,
+                   std::shared_ptr<const FrameCostModel> cost,
+                   std::string label)
+{
+    if (!touch || touch->empty())
+        fatal("interaction segments need a non-empty touch stream");
+    if (!cost)
+        fatal("interaction segments need a cost model");
+    Segment s;
+    s.kind = SegmentKind::kInteraction;
+    s.duration = touch->end_time() - touch->start_time();
+    s.touch = std::move(touch);
+    s.cost = std::move(cost);
+    s.label = std::move(label);
+    segments_.push_back(std::move(s));
+    return *this;
+}
+
+Scenario &
+Scenario::realtime(Time duration, std::shared_ptr<const FrameCostModel> cost,
+                   std::string label)
+{
+    if (!cost)
+        fatal("realtime segments need a cost model");
+    Segment s;
+    s.kind = SegmentKind::kRealtime;
+    s.duration = duration;
+    s.cost = std::move(cost);
+    s.label = std::move(label);
+    segments_.push_back(std::move(s));
+    return *this;
+}
+
+Scenario &
+Scenario::idle(Time duration)
+{
+    Segment s;
+    s.kind = SegmentKind::kIdle;
+    s.duration = duration;
+    s.label = "idle";
+    segments_.push_back(std::move(s));
+    return *this;
+}
+
+Time
+Scenario::total_duration() const
+{
+    Time t = 0;
+    for (const Segment &s : segments_)
+        t += s.duration;
+    return t;
+}
+
+Time
+Scenario::segment_start(std::size_t i) const
+{
+    Time t = 0;
+    for (std::size_t k = 0; k < i && k < segments_.size(); ++k)
+        t += segments_[k].duration;
+    return t;
+}
+
+int
+Scenario::segment_at(Time t) const
+{
+    Time start = 0;
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        if (t >= start && t < start + segments_[i].duration)
+            return int(i);
+        start += segments_[i].duration;
+    }
+    return -1;
+}
+
+Time
+Scenario::active_duration() const
+{
+    Time t = 0;
+    for (const Segment &s : segments_) {
+        if (s.produces_frames())
+            t += s.duration;
+    }
+    return t;
+}
+
+Scenario
+make_swipe_scenario(const std::string &name, int num_swipes,
+                    Time swipe_period,
+                    std::shared_ptr<const FrameCostModel> cost,
+                    double active_fraction)
+{
+    Scenario sc(name);
+    const Time active = Time(double(swipe_period) * active_fraction);
+    const Time rest = swipe_period - active;
+    for (int i = 0; i < num_swipes; ++i) {
+        sc.animate(active, cost, "fling");
+        if (rest > 0)
+            sc.idle(rest);
+    }
+    return sc;
+}
+
+} // namespace dvs

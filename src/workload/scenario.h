@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Scenarios: scripted sequences of rendering activity.
+ *
+ * A scenario is the simulator's stand-in for the paper's automated test
+ * scripts (Appendix A): an ordered list of segments, each of which is a
+ * deterministic animation, a user interaction (with a gesture stream), or
+ * idle time. Segments carry the cost model of their frames and the
+ * pre-renderability tag the UI framework would attach (§4.3).
+ */
+
+#ifndef DVS_WORKLOAD_SCENARIO_H
+#define DVS_WORKLOAD_SCENARIO_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "input/touch_event.h"
+#include "sim/time.h"
+#include "workload/frame_cost.h"
+
+namespace dvs {
+
+/** Classification of a segment, mirroring §4.2 (Fig. 9). */
+enum class SegmentKind {
+    kAnimation,   ///< deterministic, pre-renderable by default (85%)
+    kInteraction, ///< predictable with IPL, D-VSync-extensible (10%)
+    kRealtime,    ///< sensor/online data; D-VSync stays off (5%)
+    kIdle,        ///< no content due; screen static
+};
+
+const char *to_string(SegmentKind k);
+
+/** One contiguous stretch of rendering activity. */
+struct Segment {
+    SegmentKind kind = SegmentKind::kIdle;
+    Time duration = 0;
+    std::string label;
+
+    /** Frame costs (null for idle segments). */
+    std::shared_ptr<const FrameCostModel> cost;
+
+    /** Touch stream for interactions (timestamps relative to segment). */
+    std::shared_ptr<const TouchStream> touch;
+
+    /** Frames due: animations/interactions owe one frame per period. */
+    bool produces_frames() const { return kind != SegmentKind::kIdle; }
+
+    /** Pre-renderable without app cooperation (the oblivious channel). */
+    bool deterministic() const { return kind == SegmentKind::kAnimation; }
+};
+
+/**
+ * An ordered list of segments with query helpers. Segment start times are
+ * cumulative from the scenario start.
+ */
+class Scenario
+{
+  public:
+    Scenario() = default;
+    explicit Scenario(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Append a deterministic animation segment. */
+    Scenario &animate(Time duration,
+                      std::shared_ptr<const FrameCostModel> cost,
+                      std::string label = "anim");
+
+    /** Append an interactive segment driven by @p touch. */
+    Scenario &interact(std::shared_ptr<const TouchStream> touch,
+                       std::shared_ptr<const FrameCostModel> cost,
+                       std::string label = "touch");
+
+    /** Append a real-time (non-decouplable) segment. */
+    Scenario &realtime(Time duration,
+                       std::shared_ptr<const FrameCostModel> cost,
+                       std::string label = "realtime");
+
+    /** Append idle time. */
+    Scenario &idle(Time duration);
+
+    const std::vector<Segment> &segments() const { return segments_; }
+    std::size_t size() const { return segments_.size(); }
+    bool empty() const { return segments_.empty(); }
+
+    /** Total scripted duration. */
+    Time total_duration() const;
+
+    /** Start time of segment @p i relative to the scenario start. */
+    Time segment_start(std::size_t i) const;
+
+    /** Index of the segment covering @p t, or -1 when out of range. */
+    int segment_at(Time t) const;
+
+    /** Sum of durations of frame-producing segments. */
+    Time active_duration() const;
+
+  private:
+    std::string name_;
+    std::vector<Segment> segments_;
+};
+
+/**
+ * Convenience factory for the §6.1 app methodology: swiping the page
+ * twice a second, each swipe a deterministic fling animation.
+ */
+Scenario make_swipe_scenario(const std::string &name, int num_swipes,
+                             Time swipe_period,
+                             std::shared_ptr<const FrameCostModel> cost,
+                             double active_fraction = 1.0);
+
+} // namespace dvs
+
+#endif // DVS_WORKLOAD_SCENARIO_H

@@ -1,0 +1,270 @@
+#include "workload/scenario_script.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "input/gesture.h"
+#include "workload/app_profiles.h"
+
+namespace dvs {
+namespace {
+
+/** One tokenized script line. */
+struct Line {
+    int number = 0;
+    std::vector<std::string> words;
+    std::map<std::string, std::string> args; // key=value pairs
+};
+
+std::vector<Line>
+tokenize(const std::string &text)
+{
+    std::vector<Line> lines;
+    std::istringstream in(text);
+    std::string raw;
+    int number = 0;
+    while (std::getline(in, raw)) {
+        ++number;
+        const auto hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw.resize(hash);
+        std::istringstream ls(raw);
+        Line line;
+        line.number = number;
+        std::string word;
+        while (ls >> word) {
+            const auto eq = word.find('=');
+            if (eq != std::string::npos && eq > 0) {
+                line.args[word.substr(0, eq)] = word.substr(eq + 1);
+            } else {
+                line.words.push_back(word);
+            }
+        }
+        if (!line.words.empty() || !line.args.empty())
+            lines.push_back(std::move(line));
+    }
+    return lines;
+}
+
+/** Parse "350ms" / "1.5s" / "200us" into nanoseconds; 0 on failure. */
+Time
+parse_duration(const std::string &s)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || v < 0)
+        return 0;
+    const std::string unit(end);
+    if (unit == "ms")
+        return from_ms(v);
+    if (unit == "us")
+        return from_us(v);
+    if (unit == "s")
+        return from_seconds(v);
+    if (unit == "ns" || unit.empty())
+        return Time(v);
+    return 0;
+}
+
+double
+arg_num(const Line &line, const std::string &key, double fallback)
+{
+    auto it = line.args.find(key);
+    return it == line.args.end() ? fallback : std::atof(it->second.c_str());
+}
+
+std::string
+arg_str(const Line &line, const std::string &key,
+        const std::string &fallback)
+{
+    auto it = line.args.find(key);
+    return it == line.args.end() ? fallback : it->second;
+}
+
+/** Build the cost model of an `animate`/`realtime`/`interact` line. */
+std::shared_ptr<const FrameCostModel>
+cost_from_args(const Line &line, const DeviceConfig &device,
+               std::uint64_t default_seed)
+{
+    ProfileSpec spec;
+    spec.name = arg_str(line, "label", "script");
+    spec.short_mean_periods = arg_num(line, "mean", 0.45);
+    spec.short_sigma = arg_num(line, "sigma", 0.30);
+    spec.heavy_per_sec = arg_num(line, "heavy_rate", 0.0);
+    spec.heavy_min_periods = arg_num(line, "heavy_min", 1.2);
+    spec.heavy_max_periods = arg_num(line, "heavy_max", 3.0);
+    spec.heavy_alpha = arg_num(line, "alpha", 1.5);
+    spec.heavy_burst = arg_num(line, "burst", 0.1);
+    spec.ui_fraction = arg_num(line, "ui", 0.2);
+    const std::uint64_t seed =
+        std::uint64_t(arg_num(line, "seed", double(default_seed)));
+    return make_cost_model(spec, device.refresh_hz, seed);
+}
+
+struct Parser {
+    ScenarioScript out;
+    std::uint64_t gesture_seed = 99;
+
+    bool
+    fail(const Line &line, const std::string &message)
+    {
+        out.ok = false;
+        out.error = message;
+        out.error_line = line.number;
+        return false;
+    }
+
+    bool
+    handle(const Line &line)
+    {
+        const std::string &cmd = line.words[0];
+        if (cmd == "device") {
+            if (line.words.size() < 2)
+                return fail(line, "device needs a name");
+            const std::string &name = line.words[1];
+            if (name == "pixel5")
+                out.device = pixel5();
+            else if (name == "mate40pro")
+                out.device = mate40_pro();
+            else if (name == "mate60pro")
+                out.device = mate60_pro();
+            else
+                return fail(line, "unknown device '" + name + "'");
+            return true;
+        }
+        if (cmd == "seed") {
+            if (line.words.size() < 2)
+                return fail(line, "seed needs a value");
+            out.seed = std::strtoull(line.words[1].c_str(), nullptr, 10);
+            return true;
+        }
+        if (cmd == "idle") {
+            const Time d =
+                line.words.size() > 1 ? parse_duration(line.words[1]) : 0;
+            if (d <= 0)
+                return fail(line, "idle needs a positive duration");
+            out.scenario.idle(d);
+            return true;
+        }
+        if (cmd == "animate" || cmd == "realtime") {
+            const Time d =
+                line.words.size() > 1 ? parse_duration(line.words[1]) : 0;
+            if (d <= 0)
+                return fail(line, cmd + " needs a positive duration");
+            auto cost = cost_from_args(line, out.device, out.seed);
+            const std::string label = arg_str(line, "label", cmd);
+            if (cmd == "animate")
+                out.scenario.animate(d, cost, label);
+            else
+                out.scenario.realtime(d, cost, label);
+            return true;
+        }
+        if (cmd == "interact") {
+            if (line.words.size() < 3)
+                return fail(line,
+                            "interact needs a gesture and a duration");
+            const std::string &gesture = line.words[1];
+            const Time d = parse_duration(line.words[2]);
+            if (d <= 0)
+                return fail(line, "interact needs a positive duration");
+
+            GestureTiming timing;
+            timing.duration = d;
+            timing.noise_px = arg_num(line, "noise", 0.0);
+            Rng noise(gesture_seed++);
+            const double from = arg_num(line, "from", 1000.0);
+            const double travel = arg_num(line, "travel", 800.0);
+
+            TouchStream stream;
+            if (gesture == "swipe")
+                stream = make_swipe(timing, from, travel, &noise);
+            else if (gesture == "drag")
+                stream = make_drag(timing, from, travel, &noise);
+            else if (gesture == "pinch")
+                stream = make_pinch(timing, from, from + travel, &noise);
+            else
+                return fail(line, "unknown gesture '" + gesture + "'");
+
+            out.scenario.interact(
+                std::make_shared<TouchStream>(std::move(stream)),
+                cost_from_args(line, out.device, out.seed),
+                arg_str(line, "label", gesture));
+            return true;
+        }
+        return fail(line, "unknown command '" + cmd + "'");
+    }
+};
+
+} // namespace
+
+ScenarioScript
+parse_scenario_script(const std::string &text)
+{
+    Parser parser;
+    parser.out.device = pixel5();
+    parser.out.scenario = Scenario("script");
+    parser.out.ok = true;
+
+    const std::vector<Line> lines = tokenize(text);
+
+    // Expand `repeat N ... end` blocks (non-nested) first.
+    std::vector<Line> expanded;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (lines[i].words[0] == "repeat") {
+            if (lines[i].words.size() < 2) {
+                parser.fail(lines[i], "repeat needs a count");
+                return parser.out;
+            }
+            const int count = std::atoi(lines[i].words[1].c_str());
+            if (count <= 0) {
+                parser.fail(lines[i], "repeat count must be positive");
+                return parser.out;
+            }
+            std::vector<Line> body;
+            std::size_t j = i + 1;
+            for (; j < lines.size() && lines[j].words[0] != "end"; ++j)
+                body.push_back(lines[j]);
+            if (j == lines.size()) {
+                parser.fail(lines[i], "repeat without matching end");
+                return parser.out;
+            }
+            for (int k = 0; k < count; ++k)
+                expanded.insert(expanded.end(), body.begin(), body.end());
+            i = j; // skip past `end`
+        } else if (lines[i].words[0] == "end") {
+            parser.fail(lines[i], "end without repeat");
+            return parser.out;
+        } else {
+            expanded.push_back(lines[i]);
+        }
+    }
+
+    for (const Line &line : expanded) {
+        if (!parser.handle(line))
+            return parser.out;
+    }
+    if (parser.out.scenario.empty())
+        parser.out.error = "script produced no segments";
+    parser.out.ok = !parser.out.scenario.empty();
+    return parser.out;
+}
+
+ScenarioScript
+load_scenario_script(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        ScenarioScript out;
+        out.ok = false;
+        out.error = "cannot open " + path;
+        return out;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse_scenario_script(buf.str());
+}
+
+} // namespace dvs

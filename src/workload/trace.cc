@@ -1,0 +1,97 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace dvs {
+
+std::string
+FrameTrace::to_csv() const
+{
+    std::ostringstream out;
+    out << "# trace: " << name << "\n";
+    out << "# rate_hz: " << rate_hz << "\n";
+    out << "ui_us,render_us,gpu_us\n";
+    char buf[96];
+    for (const FrameCost &f : frames) {
+        std::snprintf(buf, sizeof(buf), "%.3f,%.3f,%.3f\n",
+                      to_us(f.ui_time), to_us(f.render_time),
+                      to_us(f.gpu_time));
+        out << buf;
+    }
+    return out.str();
+}
+
+FrameTrace
+FrameTrace::from_csv(const std::string &csv)
+{
+    FrameTrace t;
+    std::istringstream in(csv);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (line.rfind("# trace: ", 0) == 0) {
+            t.name = line.substr(9);
+            continue;
+        }
+        if (line.rfind("# rate_hz: ", 0) == 0) {
+            t.rate_hz = std::atof(line.c_str() + 11);
+            continue;
+        }
+        if (line.rfind("ui_us", 0) == 0 || line[0] == '#')
+            continue;
+        double ui_us = 0, render_us = 0, gpu_us = 0;
+        const int fields = std::sscanf(line.c_str(), "%lf,%lf,%lf",
+                                       &ui_us, &render_us, &gpu_us);
+        if (fields < 2) {
+            warn("malformed trace row ignored: %s", line.c_str());
+            continue;
+        }
+        t.frames.push_back(FrameCost{from_us(ui_us), from_us(render_us),
+                                     from_us(gpu_us)});
+    }
+    return t;
+}
+
+bool
+FrameTrace::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << to_csv();
+    return bool(out);
+}
+
+FrameTrace
+FrameTrace::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        warn("cannot open trace file %s", path.c_str());
+        return {};
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return from_csv(buf.str());
+}
+
+TraceCostModel::TraceCostModel(FrameTrace trace) : trace_(std::move(trace))
+{
+    if (trace_.frames.empty())
+        fatal("TraceCostModel needs a non-empty trace");
+}
+
+FrameCost
+TraceCostModel::cost_for(std::int64_t nominal_index) const
+{
+    const std::size_t n = trace_.frames.size();
+    const std::size_t i = std::size_t(nominal_index % std::int64_t(n));
+    return trace_.frames[i];
+}
+
+} // namespace dvs

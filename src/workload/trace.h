@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Frame traces: recorded per-frame costs for trace-driven simulation.
+ *
+ * The paper's game evaluation (§6.1, Fig. 14) collects runtime traces of
+ * CPU and GPU time per frame and replays them under the D-VSync pattern.
+ * FrameTrace is that artifact: an ordered list of frame costs plus the
+ * rate it was captured at, with CSV import/export so traces can be shared.
+ */
+
+#ifndef DVS_WORKLOAD_TRACE_H
+#define DVS_WORKLOAD_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "workload/frame_cost.h"
+
+namespace dvs {
+
+/** An ordered recording of per-frame costs. */
+struct FrameTrace {
+    std::string name;
+    double rate_hz = 60.0; ///< frame rate the trace was captured at
+    std::vector<FrameCost> frames;
+
+    std::size_t size() const { return frames.size(); }
+
+    /** Serialize as CSV: header + one "ui_us,render_us" row per frame. */
+    std::string to_csv() const;
+
+    /**
+     * Parse the CSV format produced by to_csv().
+     * @throws never; returns an empty trace and warns on malformed input.
+     */
+    static FrameTrace from_csv(const std::string &csv);
+
+    /** Write/read CSV files. @return success. */
+    bool save(const std::string &path) const;
+    static FrameTrace load(const std::string &path);
+};
+
+/**
+ * Cost model that replays a trace. Indices beyond the end wrap around,
+ * so a short capture can drive an arbitrarily long simulation.
+ */
+class TraceCostModel : public FrameCostModel
+{
+  public:
+    explicit TraceCostModel(FrameTrace trace);
+
+    FrameCost cost_for(std::int64_t nominal_index) const override;
+
+    const FrameTrace &trace() const { return trace_; }
+
+  private:
+    FrameTrace trace_;
+};
+
+} // namespace dvs
+
+#endif // DVS_WORKLOAD_TRACE_H

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for motion curves, animations, and the judder metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anim/animation.h"
+#include "anim/curves.h"
+#include "anim/judder.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+// ----- curves ----------------------------------------------------------------
+
+TEST(Curves, LinearIsIdentityClamped)
+{
+    LinearCurve c;
+    EXPECT_DOUBLE_EQ(c.value(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(c.value(0.5), 0.5);
+    EXPECT_DOUBLE_EQ(c.value(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(c.value(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(c.value(2.0), 1.0);
+    EXPECT_NEAR(c.velocity(0.5), 1.0, 1e-3);
+}
+
+TEST(Curves, BezierEndpointsExact)
+{
+    CubicBezierCurve c(0.42, 0.0, 0.58, 1.0);
+    EXPECT_DOUBLE_EQ(c.value(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(c.value(1.0), 1.0);
+}
+
+TEST(Curves, BezierEaseInOutShape)
+{
+    CubicBezierCurve c(0.42, 0.0, 0.58, 1.0);
+    EXPECT_LT(c.value(0.1), 0.1); // slow start
+    EXPECT_GT(c.value(0.9), 0.9); // slow end
+    EXPECT_NEAR(c.value(0.5), 0.5, 0.01);
+}
+
+TEST(Curves, BezierMonotonic)
+{
+    CubicBezierCurve c(0.2, 0.0, 0.2, 1.0);
+    double prev = -1;
+    for (int i = 0; i <= 100; ++i) {
+        const double v = c.value(i / 100.0);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Curves, SpringSettlesAtOne)
+{
+    SpringCurve c(8.0);
+    EXPECT_DOUBLE_EQ(c.value(0.0), 0.0);
+    EXPECT_NEAR(c.value(1.0), 1.0, 1e-9);
+    EXPECT_GT(c.value(0.5), 0.8); // most of the travel happens early
+}
+
+TEST(Curves, FlingDeceleratesMonotonically)
+{
+    FlingCurve c(4.0);
+    EXPECT_DOUBLE_EQ(c.value(0.0), 0.0);
+    EXPECT_NEAR(c.value(1.0), 1.0, 1e-9);
+    // Velocity decays: first half covers much more than the second.
+    EXPECT_GT(c.value(0.5), 0.8);
+    double prev = -1;
+    for (int i = 0; i <= 50; ++i) {
+        const double v = c.value(i / 50.0);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Curves, OvershootExceedsTargetThenSettles)
+{
+    OvershootCurve c(2.0);
+    EXPECT_DOUBLE_EQ(c.value(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(c.value(1.0), 1.0);
+    // Somewhere past the midpoint the value exceeds 1.
+    double peak = 0;
+    for (int i = 0; i <= 100; ++i)
+        peak = std::max(peak, c.value(i / 100.0));
+    EXPECT_GT(peak, 1.05);
+    EXPECT_LT(peak, 1.5);
+}
+
+TEST(Curves, AnticipatePullsBackFirst)
+{
+    AnticipateCurve c(2.0);
+    EXPECT_DOUBLE_EQ(c.value(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(c.value(1.0), 1.0);
+    double trough = 1;
+    for (int i = 0; i <= 100; ++i)
+        trough = std::min(trough, c.value(i / 100.0));
+    EXPECT_LT(trough, -0.05);
+}
+
+TEST(Curves, FactoryCurvesAreShared)
+{
+    EXPECT_EQ(ease_in_out().get(), ease_in_out().get());
+    EXPECT_NE(ease_out(), nullptr);
+}
+
+// ----- animation -----------------------------------------------------------------
+
+TEST(Animation, MapsTimeToPixels)
+{
+    Animation a(std::make_shared<LinearCurve>(), 100_ms, 200_ms, 0.0,
+                400.0);
+    EXPECT_DOUBLE_EQ(a.position_at(100_ms), 0.0);
+    EXPECT_DOUBLE_EQ(a.position_at(200_ms), 200.0);
+    EXPECT_DOUBLE_EQ(a.position_at(300_ms), 400.0);
+    EXPECT_DOUBLE_EQ(a.position_at(999_ms), 400.0); // clamped
+    EXPECT_TRUE(a.active(150_ms));
+    EXPECT_FALSE(a.active(300_ms));
+    EXPECT_EQ(a.end(), 300_ms);
+}
+
+TEST(Animation, VelocityInPixelsPerSecond)
+{
+    Animation a(std::make_shared<LinearCurve>(), 0, 1_s, 0.0, 500.0);
+    EXPECT_NEAR(a.velocity_at(500_ms), 500.0, 5.0);
+}
+
+// ----- judder ---------------------------------------------------------------------
+
+TEST(Judder, PerfectPlaybackScoresZero)
+{
+    Animation a(std::make_shared<LinearCurve>(), 0, 1_s, 0.0, 1000.0);
+    std::vector<DisplayedFrame> frames;
+    for (int i = 0; i < 60; ++i) {
+        const Time t = Time(i) * 16'666'666;
+        frames.push_back({t, t}); // content matches present exactly
+    }
+    const JudderReport r = score_playback(a, frames);
+    EXPECT_NEAR(r.position_error_px.mean(), 0.0, 1e-6);
+    EXPECT_NEAR(r.step_jitter_px, 0.0, 0.1);
+}
+
+TEST(Judder, UniformLagIsNotJudder)
+{
+    // A constant 2-period content lag shifts position but steps stay
+    // uniform: step jitter must remain ~0 on a linear curve.
+    Animation a(std::make_shared<LinearCurve>(), 0, 1_s, 0.0, 1000.0);
+    std::vector<DisplayedFrame> frames;
+    for (int i = 0; i < 58; ++i) {
+        const Time present = Time(i + 2) * 16'666'666;
+        const Time content = Time(i) * 16'666'666;
+        frames.push_back({content, present});
+    }
+    const JudderReport r = score_playback(a, frames);
+    EXPECT_NEAR(r.step_jitter_px, 0.0, 0.1);
+}
+
+TEST(Judder, RepeatedFrameCausesStepJitter)
+{
+    Animation a(std::make_shared<LinearCurve>(), 0, 1_s, 0.0, 1000.0);
+    std::vector<DisplayedFrame> frames;
+    for (int i = 0; i < 30; ++i) {
+        Time content = Time(i) * 16'666'666;
+        if (i == 15)
+            content = Time(14) * 16'666'666; // repeat of previous frame
+        frames.push_back({content, Time(i) * 16'666'666});
+    }
+    const JudderReport r = score_playback(a, frames);
+    EXPECT_GT(r.step_jitter_px, 1.0);
+    EXPECT_GT(r.max_error_px, 10.0);
+}
+
+TEST(Judder, MaxErrorTracksWorstFrame)
+{
+    Animation a(std::make_shared<LinearCurve>(), 0, 1_s, 0.0, 1000.0);
+    std::vector<DisplayedFrame> frames;
+    for (int i = 0; i < 10; ++i) {
+        const Time t = Time(i) * 16'666'666;
+        frames.push_back({t, t});
+    }
+    frames.push_back({200_ms, 300_ms}); // 100 ms late => 100 px error
+    const JudderReport r = score_playback(a, frames);
+    EXPECT_EQ(r.content_offset, 0); // median lag stays zero
+    EXPECT_NEAR(r.max_error_px, 100.0, 1.0);
+}

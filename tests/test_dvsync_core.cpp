@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests of the D-VSync core: FPE accumulation/sync stages, DTV promises
+ * and elasticity, the runtime controller, and the Fig. 10 comparison
+ * (same workload: VSync drops, D-VSync absorbs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/render_system.h"
+#include "input/gesture.h"
+#include "workload/frame_cost.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+namespace {
+
+constexpr Time kPeriod = 16'666'666; // 60 Hz
+
+SystemConfig
+dvsync_config(int buffers = 0)
+{
+    SystemConfig cfg;
+    cfg.device = pixel5();
+    cfg.mode = RenderMode::kDvsync;
+    cfg.buffers = buffers;
+    return cfg;
+}
+
+Scenario
+single_animation(std::shared_ptr<const FrameCostModel> cost, Time duration)
+{
+    Scenario sc("t");
+    sc.animate(duration, std::move(cost));
+    return sc;
+}
+
+} // namespace
+
+TEST(Fpe, FirstFrameGoesThroughVsyncPathRestArePreRendered)
+{
+    auto cost = std::make_shared<ConstantCostModel>(2_ms, 5_ms);
+    RenderSystem sys(dvsync_config(), single_animation(cost, 300_ms));
+    sys.run();
+    const auto &recs = sys.producer().records();
+    ASSERT_GT(recs.size(), 5u);
+    EXPECT_FALSE(recs[0].pre_rendered);
+    for (std::size_t i = 1; i < recs.size(); ++i)
+        EXPECT_TRUE(recs[i].pre_rendered) << "frame " << i;
+    EXPECT_EQ(sys.fpe()->pre_rendered_frames(), recs.size() - 1);
+}
+
+TEST(Fpe, AccumulationChainsFramesBackToBack)
+{
+    auto cost = std::make_shared<ConstantCostModel>(1_ms, 3_ms);
+    RenderSystem sys(dvsync_config(6), single_animation(cost, 300_ms));
+    sys.run();
+    const auto &recs = sys.producer().records();
+    // During accumulation the first frames start well before their slots'
+    // vsync edges: frame 3's trigger is earlier than 3 periods in.
+    ASSERT_GT(recs.size(), 4u);
+    EXPECT_LT(recs[3].trigger_time, recs[3].timeline_timestamp);
+    EXPECT_GT(sys.fpe()->sync_entries(), 0u);
+}
+
+TEST(Fpe, SyncStagePacesWithDisplay)
+{
+    auto cost = std::make_shared<ConstantCostModel>(1_ms, 3_ms);
+    RenderSystem sys(dvsync_config(), single_animation(cost, 500_ms));
+    sys.run();
+    // Steady state: presents once per period, no drops.
+    EXPECT_EQ(sys.stats().frame_drops(), 0u);
+    EXPECT_EQ(std::int64_t(sys.stats().presents()),
+              sys.stats().frames_due());
+    EXPECT_EQ(sys.fpe()->stage(), FpeStage::kSync);
+}
+
+TEST(Fpe, QueueDepthNeverExceedsPrerenderLimit)
+{
+    auto cost = std::make_shared<ConstantCostModel>(1_ms, 2_ms);
+    SystemConfig cfg = dvsync_config(5); // limit 3
+    Scenario sc = single_animation(cost, 400_ms);
+    RenderSystem sys(cfg, sc);
+
+    int max_queued = 0;
+    sys.producer().add_queued_listener([&](const FrameRecord &) {
+        max_queued = std::max(max_queued, sys.queue().queued_count());
+    });
+    sys.run();
+    EXPECT_LE(max_queued, sys.prerender_limit() + 1);
+    EXPECT_GE(max_queued, sys.prerender_limit());
+}
+
+TEST(Fpe, HeavyFrameAbsorbedWithoutDrop)
+{
+    // The same workload that drops under VSync (see
+    // VsyncPipeline.HeavyFrameDropsAndStuffsSuccessors) survives D-VSync.
+    auto cost = std::make_shared<PeriodicSpikeCostModel>(
+        FrameCost{2_ms, 5_ms}, FrameCost{2_ms, 30_ms}, 20, -10);
+
+    SystemConfig vs;
+    vs.mode = RenderMode::kVsync;
+    RenderSystem vsync(vs, single_animation(cost, 500_ms));
+    vsync.run();
+
+    RenderSystem dvsync(dvsync_config(), single_animation(cost, 500_ms));
+    dvsync.run();
+
+    EXPECT_GT(vsync.stats().frame_drops(), 0u);
+    EXPECT_EQ(dvsync.stats().frame_drops(), 0u);
+}
+
+TEST(Fpe, VeryLongFrameStillDropsThenRecovers)
+{
+    // A 5-period frame exceeds what 4 buffers can hide: D-VSync drops,
+    // DTV slips, and the system realigns instead of staying late.
+    auto cost = std::make_shared<PeriodicSpikeCostModel>(
+        FrameCost{2_ms, 5_ms}, FrameCost{2_ms, 80_ms}, 25, -12);
+    RenderSystem sys(dvsync_config(), single_animation(cost, 1_s));
+    sys.run();
+
+    EXPECT_GT(sys.stats().frame_drops(), 0u);
+    EXPECT_GT(sys.dtv()->slips(), 0u);
+
+    // Recovery: the very last frames present exactly at their promises.
+    const auto &shown = sys.stats().shown();
+    ASSERT_GT(shown.size(), 3u);
+    const ShownFrame &last = shown.back();
+    EXPECT_EQ(last.present_time, last.content_timestamp);
+}
+
+TEST(Dtv, PromisesMatchPresentsExactly)
+{
+    auto cost = std::make_shared<ConstantCostModel>(2_ms, 6_ms);
+    RenderSystem sys(dvsync_config(), single_animation(cost, 500_ms));
+    sys.run();
+    EXPECT_GT(sys.dtv()->promises(), 20u);
+    EXPECT_EQ(sys.dtv()->promise_error().max(), 0.0);
+    EXPECT_EQ(sys.dtv()->slips(), 0u);
+}
+
+TEST(Dtv, DTimestampEqualsTimelinePlusPipelineDepth)
+{
+    auto cost = std::make_shared<ConstantCostModel>(2_ms, 6_ms);
+    RenderSystem sys(dvsync_config(), single_animation(cost, 300_ms));
+    sys.run();
+    for (const auto &r : sys.producer().records()) {
+        if (!r.pre_rendered)
+            continue;
+        EXPECT_EQ(r.content_timestamp,
+                  r.timeline_timestamp + 2 * kPeriod);
+    }
+}
+
+TEST(Dtv, PromisesAreMonotonicallySpacedByPeriod)
+{
+    auto cost = std::make_shared<ConstantCostModel>(1_ms, 4_ms);
+    RenderSystem sys(dvsync_config(6), single_animation(cost, 400_ms));
+    sys.run();
+    Time prev = kTimeNone;
+    for (const auto &r : sys.producer().records()) {
+        if (!r.pre_rendered)
+            continue;
+        if (prev != kTimeNone) {
+            EXPECT_EQ(r.content_timestamp - prev, kPeriod);
+        }
+        prev = r.content_timestamp;
+    }
+}
+
+TEST(Dtv, CalibrationTracksJitteryHardware)
+{
+    auto cost = std::make_shared<ConstantCostModel>(2_ms, 5_ms);
+    SystemConfig cfg = dvsync_config();
+    cfg.vsync_jitter = 200_us;
+    RenderSystem sys(cfg, single_animation(cost, 1_s));
+    sys.run();
+    // With jitter the promise cannot be exact, but must stay well under
+    // one period thanks to continuous calibration.
+    EXPECT_LT(sys.dtv()->promise_error().mean(), double(2_ms));
+    EXPECT_EQ(sys.stats().frame_drops(), 0u);
+    EXPECT_GT(sys.dtv()->calibrations(), 30u);
+}
+
+TEST(Dtv, SparseCalibrationStillBounded)
+{
+    auto cost = std::make_shared<ConstantCostModel>(2_ms, 5_ms);
+    SystemConfig cfg = dvsync_config();
+    cfg.vsync_jitter = 200_us;
+    cfg.dtv_calibration_interval = 8; // "every few frames"
+    RenderSystem sys(cfg, single_animation(cost, 1_s));
+    sys.run();
+    EXPECT_LT(sys.dtv()->promise_error().mean(), double(4_ms));
+    EXPECT_LT(sys.dtv()->calibrations(), sys.hw_vsync().edges_emitted());
+}
+
+TEST(Runtime, RealtimeSegmentsFallBackToVsync)
+{
+    auto cost = std::make_shared<ConstantCostModel>(2_ms, 5_ms);
+    Scenario sc("t");
+    sc.realtime(300_ms, cost);
+    RenderSystem sys(dvsync_config(), sc);
+    sys.run();
+    for (const auto &r : sys.producer().records())
+        EXPECT_FALSE(r.pre_rendered);
+    EXPECT_EQ(sys.fpe()->pre_rendered_frames(), 0u);
+    EXPECT_GT(sys.fpe()->fallback_frames(), 0u);
+}
+
+TEST(Runtime, InteractionWithoutPredictorFallsBack)
+{
+    auto cost = std::make_shared<ConstantCostModel>(2_ms, 5_ms);
+    GestureTiming timing;
+    timing.duration = 300_ms;
+    auto touch = std::make_shared<TouchStream>(make_swipe(timing, 1000, 500));
+    Scenario sc("t");
+    sc.interact(touch, cost, "browse");
+    RenderSystem sys(dvsync_config(), sc);
+    sys.run();
+    for (const auto &r : sys.producer().records())
+        EXPECT_FALSE(r.pre_rendered);
+}
+
+TEST(Runtime, InteractionWithPredictorIsDecoupled)
+{
+    auto cost = std::make_shared<ConstantCostModel>(2_ms, 5_ms);
+    GestureTiming timing;
+    timing.duration = 300_ms;
+    auto touch = std::make_shared<TouchStream>(make_swipe(timing, 1000, 500));
+    Scenario sc("t");
+    sc.interact(touch, cost, "browse");
+    RenderSystem sys(dvsync_config(), sc);
+    sys.runtime()->register_predictor(
+        "browse", std::make_shared<LinearPredictor>());
+    sys.run();
+    EXPECT_GT(sys.fpe()->pre_rendered_frames(), 5u);
+    EXPECT_GT(sys.runtime()->ipl().predictions(), 0u);
+}
+
+TEST(Runtime, DisableSwitchRevertsToVsyncBehaviour)
+{
+    auto cost = std::make_shared<ConstantCostModel>(2_ms, 5_ms);
+    RenderSystem sys(dvsync_config(), single_animation(cost, 300_ms));
+    sys.runtime()->set_enabled(false);
+    sys.run();
+    EXPECT_EQ(sys.fpe()->pre_rendered_frames(), 0u);
+    // Still renders correctly through the fallback path.
+    EXPECT_EQ(std::int64_t(sys.stats().presents()),
+              sys.stats().frames_due());
+}
+
+TEST(Runtime, PrerenderLimitReconfigurationGrowsQueue)
+{
+    auto cost = std::make_shared<ConstantCostModel>(2_ms, 5_ms);
+    RenderSystem sys(dvsync_config(4), single_animation(cost, 300_ms));
+    EXPECT_EQ(sys.prerender_limit(), 2);
+    sys.runtime()->set_prerender_limit(5);
+    EXPECT_EQ(sys.prerender_limit(), 5);
+    EXPECT_EQ(sys.queue().capacity(), 7);
+    sys.run();
+    EXPECT_EQ(sys.stats().frame_drops(), 0u);
+}
+
+TEST(Runtime, QueryDisplayTimeIsOnTheVsyncGrid)
+{
+    auto cost = std::make_shared<ConstantCostModel>(2_ms, 5_ms);
+    RenderSystem sys(dvsync_config(), single_animation(cost, 200_ms));
+    // Query mid-run via a scheduled event.
+    Time promised = kTimeNone;
+    sys.sim().events().schedule(100_ms, [&] {
+        promised = sys.runtime()->query_display_time();
+    });
+    sys.run();
+    ASSERT_NE(promised, kTimeNone);
+    EXPECT_GT(promised, 100_ms);
+    EXPECT_EQ((promised) % kPeriod, 0) << "promise should sit on an edge";
+}
+
+TEST(DvsyncVsVsync, Figure10SameWorkloadComparison)
+{
+    // Fig. 10's exact setup: the same series of workloads produces janks
+    // in a row under VSync and plays perfectly smooth under D-VSync with
+    // 5 buffers / limit 3.
+    auto cost = std::make_shared<PeriodicSpikeCostModel>(
+        FrameCost{1_ms, 6_ms}, FrameCost{1_ms, 45_ms}, 30, -15);
+
+    SystemConfig vs;
+    vs.mode = RenderMode::kVsync;
+    RenderSystem vsync(vs, single_animation(cost, 1_s));
+    vsync.run();
+
+    SystemConfig dv = dvsync_config(5);
+    RenderSystem dvsync(dv, single_animation(cost, 1_s));
+    dvsync.run();
+
+    // ~45 ms render = ~2.7 periods: 2 janks in a row per spike in VSync.
+    EXPECT_GE(vsync.stats().frame_drops(), 2u);
+    EXPECT_EQ(dvsync.stats().frame_drops(), 0u);
+
+    // And the latency story of §6.3: VSync accumulates stuffing latency,
+    // D-VSync stays on the 2-period floor.
+    EXPECT_GT(vsync.stats().latency().mean(), double(2 * kPeriod));
+    EXPECT_NEAR(dvsync.stats().latency().mean(), double(2 * kPeriod),
+                double(10_us));
+}

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests of the finer D-VSync mechanisms: the panel's display-time
+ * hold-back, fence-floor promise self-correction, drop-exact slip
+ * elasticity, and the producer's slot skipping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/render_system.h"
+#include "input/gesture.h"
+#include "workload/frame_cost.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+namespace {
+
+constexpr Time kPeriod = 16'666'666; // 60 Hz
+
+Scenario
+single_animation(std::shared_ptr<const FrameCostModel> cost, Time duration)
+{
+    Scenario sc("t");
+    sc.animate(duration, std::move(cost));
+    return sc;
+}
+
+} // namespace
+
+// ----- panel hold-back ---------------------------------------------------
+
+TEST(HoldBack, PreRenderedBuffersNeverDisplayEarly)
+{
+    // With very fast frames the producer accumulates far ahead; the
+    // panel must still display each frame at (not before) its
+    // D-Timestamp.
+    auto cost = std::make_shared<ConstantCostModel>(100'000, 400'000);
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    cfg.buffers = 7;
+    RenderSystem sys(cfg, single_animation(cost, 400_ms));
+    sys.run();
+
+    for (const ShownFrame &f : sys.stats().shown()) {
+        if (!f.pre_rendered)
+            continue;
+        EXPECT_GE(f.present_time, f.content_timestamp)
+            << "frame " << f.frame_id << " displayed before its slot";
+    }
+}
+
+TEST(HoldBack, AnimationsNeverAppearFast)
+{
+    // §4.4: "animations never appear fast in accumulation". Successive
+    // presents advance content by exactly one period even while the
+    // producer runs many frames ahead.
+    auto cost = std::make_shared<ConstantCostModel>(100'000, 400'000);
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    cfg.buffers = 7;
+    RenderSystem sys(cfg, single_animation(cost, 400_ms));
+    sys.run();
+
+    Time prev = kTimeNone;
+    for (const ShownFrame &f : sys.stats().shown()) {
+        if (prev != kTimeNone) {
+            EXPECT_EQ(f.content_timestamp - prev, kPeriod);
+        }
+        prev = f.content_timestamp;
+    }
+}
+
+// ----- slip elasticity ------------------------------------------------------
+
+TEST(Slip, OneSlipPerMissedDisplaySlot)
+{
+    // A single monster frame too big for the bank: exactly the missed
+    // refreshes slip, no more.
+    auto cost = std::make_shared<PeriodicSpikeCostModel>(
+        FrameCost{1_ms, 4_ms}, FrameCost{2_ms, 95_ms}, 40, 20);
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    RenderSystem sys(cfg, single_animation(cost, 600_ms));
+    sys.run();
+
+    // Repeats with due content == slips (each missed slot realigns once).
+    std::uint64_t due_repeats = 0;
+    for (const RefreshLog &r : sys.stats().refreshes())
+        due_repeats += r.drop;
+    EXPECT_EQ(sys.dtv()->slips(), due_repeats);
+    EXPECT_GT(sys.dtv()->slips(), 0u);
+}
+
+TEST(Slip, WarmupRepeatsDoNotSlip)
+{
+    // During the two-period pipeline warm-up the screen repeats, but no
+    // promise is due yet: the content timeline must not skip.
+    auto cost = std::make_shared<ConstantCostModel>(2_ms, 6_ms);
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    RenderSystem sys(cfg, single_animation(cost, 300_ms));
+    sys.run();
+    EXPECT_EQ(sys.dtv()->slips(), 0u);
+
+    // All slots produced, none skipped.
+    const SegmentState &st = sys.producer().segment_state(0);
+    EXPECT_EQ(st.started, st.total_slots);
+}
+
+TEST(Slip, IdleGapsBetweenSegmentsDoNotSlip)
+{
+    auto cost = std::make_shared<ConstantCostModel>(2_ms, 6_ms);
+    Scenario sc("t");
+    sc.animate(200_ms, cost).idle(300_ms).animate(200_ms, cost);
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    RenderSystem sys(cfg, sc);
+    sys.run();
+    EXPECT_EQ(sys.dtv()->slips(), 0u);
+    EXPECT_EQ(sys.stats().frame_drops(), 0u);
+}
+
+TEST(Slip, RecoveryRealignsLatencyToFloor)
+{
+    // After the monster's drops, the remaining frames return to the
+    // 2-period latency floor instead of running permanently late (the
+    // §5.1 elasticity; contrast with VSync's persistent stuffing).
+    auto cost = std::make_shared<PeriodicSpikeCostModel>(
+        FrameCost{1_ms, 4_ms}, FrameCost{2_ms, 95_ms}, 60, 20);
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    RenderSystem sys(cfg, single_animation(cost, 1_s));
+    sys.run();
+    ASSERT_GT(sys.dtv()->slips(), 0u);
+
+    const auto &shown = sys.stats().shown();
+    ASSERT_GT(shown.size(), 10u);
+    // The last 5 frames are back on the floor.
+    for (std::size_t i = shown.size() - 5; i < shown.size(); ++i) {
+        EXPECT_EQ(shown[i].present_time - shown[i].timeline_timestamp,
+                  2 * kPeriod);
+    }
+}
+
+// ----- producer slot skipping -------------------------------------------------
+
+TEST(SkipSlots, AdvancesPastLostTimeline)
+{
+    auto cost = std::make_shared<PeriodicSpikeCostModel>(
+        FrameCost{1_ms, 4_ms}, FrameCost{2_ms, 95_ms}, 60, 20);
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    RenderSystem sys(cfg, single_animation(cost, 1_s));
+    sys.run();
+
+    const SegmentState &st = sys.producer().segment_state(0);
+    // Some slots skipped, and starts + skips cover the whole timeline.
+    EXPECT_LT(st.started, st.total_slots);
+    EXPECT_EQ(st.next_slot, st.total_slots);
+
+    // Slots of produced frames are strictly increasing (never reused).
+    std::int64_t prev = -1;
+    for (const auto &rec : sys.producer().records()) {
+        EXPECT_GT(rec.slot, prev);
+        prev = rec.slot;
+    }
+}
+
+// ----- fence-floor promises ----------------------------------------------------
+
+TEST(FenceFloor, PromisesSelfCorrectAcrossDrops)
+{
+    // After a drop, new promises derive from the actual present fence
+    // and stay exact; only the already-issued in-flight ones were late.
+    auto cost = std::make_shared<PeriodicSpikeCostModel>(
+        FrameCost{1_ms, 4_ms}, FrameCost{2_ms, 60_ms}, 45, 20);
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    RenderSystem sys(cfg, single_animation(cost, 1_s));
+    sys.run();
+
+    const auto &shown = sys.stats().shown();
+    int late_tail = 0;
+    for (std::size_t i = shown.size() - 10; i < shown.size(); ++i) {
+        if (shown[i].present_time != shown[i].content_timestamp)
+            ++late_tail;
+    }
+    EXPECT_EQ(late_tail, 0) << "promise chain did not re-converge";
+}
+
+TEST(FenceFloor, InteractionFallbackUnaffectedByPromises)
+{
+    // A decoupled animation followed by a non-decoupled interaction:
+    // the interaction's frames flow through the vsync path with edge
+    // content timestamps even though DTV holds state from the animation.
+    GestureTiming timing;
+    timing.duration = 300_ms;
+    auto touch =
+        std::make_shared<TouchStream>(make_swipe(timing, 1000, 500));
+    auto cost = std::make_shared<ConstantCostModel>(2_ms, 5_ms);
+    Scenario sc("t");
+    sc.animate(300_ms, cost).interact(touch, cost, "browse");
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    RenderSystem sys(cfg, sc);
+    sys.run();
+
+    for (const auto &rec : sys.producer().records()) {
+        if (rec.segment_index != 1)
+            continue;
+        EXPECT_FALSE(rec.pre_rendered);
+        EXPECT_EQ(rec.content_timestamp, rec.trigger_time);
+    }
+    EXPECT_EQ(sys.stats().frame_drops(), 0u);
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the deterministic event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(q.next_event_time(), kTimeNone);
+}
+
+TEST(EventQueue, DispatchesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenSequence)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(2); }, EventPriority::kPipeline);
+    q.schedule(10, [&] { order.push_back(1); }, EventPriority::kDisplay);
+    q.schedule(10, [&] { order.push_back(3); }, EventPriority::kPipeline);
+    q.schedule(10, [&] { order.push_back(4); }, EventPriority::kMetrics);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ClockAdvancesOnlyThroughEvents)
+{
+    EventQueue q;
+    Time seen = -1;
+    q.schedule(500, [&] { seen = q.now(); });
+    q.run();
+    EXPECT_EQ(seen, 500);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.schedule(30, [&] { ++fired; });
+    const auto n = q.run_until(20);
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 20);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockToHorizon)
+{
+    EventQueue q;
+    q.schedule(5, [] {});
+    q.run_until(100);
+    EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue q;
+    std::vector<Time> times;
+    std::function<void()> chain = [&] {
+        times.push_back(q.now());
+        if (times.size() < 5)
+            q.schedule_in(10, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(times, (std::vector<Time>{0, 10, 20, 30, 40}));
+}
+
+TEST(EventQueue, SameTimeSelfScheduledEventRunsAfterPending)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] {
+        order.push_back(1);
+        q.schedule(10, [&] { order.push_back(3); });
+    });
+    q.schedule(10, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, CancelPreventsDispatch)
+{
+    EventQueue q;
+    int fired = 0;
+    EventId id = q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    EXPECT_TRUE(q.cancel(id));
+    q.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelTwiceIsNoop)
+{
+    EventQueue q;
+    EventId id = q.schedule(10, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(99999));
+}
+
+TEST(EventQueue, CancelUpdatesPendingCount)
+{
+    EventQueue q;
+    EventId a = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    EXPECT_EQ(q.pending(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, DispatchedCounterAccumulates)
+{
+    EventQueue q;
+    for (int i = 0; i < 7; ++i)
+        q.schedule(i, [] {});
+    q.run();
+    EXPECT_EQ(q.dispatched(), 7u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue q;
+    Time last = -1;
+    bool monotonic = true;
+    for (int i = 0; i < 5000; ++i) {
+        const Time when = (i * 7919) % 1000;
+        q.schedule(when, [&, when] {
+            if (when < last)
+                monotonic = false;
+            last = when;
+        });
+    }
+    q.run();
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(q.dispatched(), 5000u);
+}

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Failure-injection and edge-case tests: screen off/on mid-animation,
+ * degenerate costs and segments, extreme jitter, runtime switches
+ * mid-run, and minimal buffer budgets. The stack must survive all of
+ * them without deadlock, double-presents, or invariant violations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/render_system.h"
+#include "workload/frame_cost.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+namespace {
+
+Scenario
+animation(std::shared_ptr<const FrameCostModel> cost, Time duration)
+{
+    Scenario sc("t");
+    sc.animate(duration, std::move(cost));
+    return sc;
+}
+
+void
+check_conservation(RenderSystem &sys)
+{
+    std::vector<int> seen(sys.producer().records().size(), 0);
+    for (const ShownFrame &f : sys.stats().shown())
+        ++seen[f.frame_id];
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_LE(seen[i], 1) << "frame " << i << " presented twice";
+}
+
+} // namespace
+
+TEST(FailureInjection, ScreenOffAndOnMidAnimation)
+{
+    for (RenderMode mode : {RenderMode::kVsync, RenderMode::kDvsync}) {
+        auto cost = std::make_shared<ConstantCostModel>(1_ms, 4_ms);
+        SystemConfig cfg;
+        cfg.mode = mode;
+        RenderSystem sys(cfg, animation(cost, 1_s));
+
+        // Screen turns off for 200 ms in the middle of the animation.
+        sys.sim().events().schedule(400_ms,
+                                    [&] { sys.hw_vsync().stop(); });
+        sys.sim().events().schedule(600_ms,
+                                    [&] { sys.hw_vsync().start(); });
+        sys.run();
+
+        check_conservation(sys);
+        // The producer stalls on buffers while the screen is dark (no
+        // latches free slots) and resumes afterwards; presents continue
+        // after 600 ms.
+        Time last_present = 0;
+        for (const ShownFrame &f : sys.stats().shown())
+            last_present = std::max(last_present, f.present_time);
+        EXPECT_GT(last_present, 700_ms) << to_string(mode);
+    }
+}
+
+TEST(FailureInjection, ZeroCostFramesDoNotBreakPipelining)
+{
+    auto cost = std::make_shared<ConstantCostModel>(0, 0);
+    for (RenderMode mode : {RenderMode::kVsync, RenderMode::kDvsync}) {
+        SystemConfig cfg;
+        cfg.mode = mode;
+        RenderSystem sys(cfg, animation(cost, 300_ms));
+        sys.run();
+        EXPECT_EQ(sys.stats().frame_drops(), 0u) << to_string(mode);
+        EXPECT_EQ(std::int64_t(sys.stats().presents()),
+                  sys.stats().frames_due());
+        check_conservation(sys);
+    }
+}
+
+TEST(FailureInjection, SubPeriodSegmentProducesOneFrame)
+{
+    auto cost = std::make_shared<ConstantCostModel>(1_ms, 3_ms);
+    Scenario sc("t");
+    sc.animate(5_ms, cost); // far below one 16.7 ms period
+    for (RenderMode mode : {RenderMode::kVsync, RenderMode::kDvsync}) {
+        SystemConfig cfg;
+        cfg.mode = mode;
+        RenderSystem sys(cfg, sc);
+        sys.run();
+        EXPECT_EQ(sys.stats().presents(), 1u) << to_string(mode);
+        EXPECT_EQ(sys.stats().frame_drops(), 0u);
+    }
+}
+
+TEST(FailureInjection, ManyTinySegments)
+{
+    auto cost = std::make_shared<ConstantCostModel>(1_ms, 3_ms);
+    Scenario sc("t");
+    for (int i = 0; i < 40; ++i)
+        sc.animate(12_ms, cost).idle(9_ms);
+    for (RenderMode mode : {RenderMode::kVsync, RenderMode::kDvsync}) {
+        SystemConfig cfg;
+        cfg.mode = mode;
+        RenderSystem sys(cfg, sc);
+        sys.run();
+        check_conservation(sys);
+        // Sub-period segments race the vsync grid: some windows contain
+        // no edge at all, so not every segment lands a frame.
+        EXPECT_GT(sys.stats().presents(), 20u) << to_string(mode);
+    }
+}
+
+TEST(FailureInjection, ExtremeJitterSurvives)
+{
+    auto cost = std::make_shared<ConstantCostModel>(2_ms, 5_ms);
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    cfg.vsync_jitter = 2_ms; // 12% of a 60 Hz period, far beyond real
+    cfg.seed = 3;
+    RenderSystem sys(cfg, animation(cost, 1_s));
+    sys.run();
+    check_conservation(sys);
+    // Promises degrade but stay within a period.
+    EXPECT_LT(sys.dtv()->promise_error().mean(), double(16'666'666));
+}
+
+TEST(FailureInjection, RuntimeToggledRepeatedlyMidRun)
+{
+    auto cost = std::make_shared<ConstantCostModel>(2_ms, 5_ms);
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    RenderSystem sys(cfg, animation(cost, 1_s));
+    for (int i = 1; i <= 8; ++i) {
+        sys.sim().events().schedule(Time(i) * 100_ms, [&sys, i] {
+            sys.runtime()->set_enabled(i % 2 == 0);
+        });
+    }
+    sys.run();
+    check_conservation(sys);
+    EXPECT_EQ(std::int64_t(sys.stats().presents()),
+              sys.stats().frames_due());
+    // Both channels exercised.
+    EXPECT_GT(sys.fpe()->pre_rendered_frames(), 0u);
+    EXPECT_GT(sys.fpe()->fallback_frames(), 0u);
+}
+
+TEST(FailureInjection, MinimalBufferBudget)
+{
+    // Two slots is the architectural minimum (front + back): the
+    // pipeline serializes hard but must not deadlock.
+    auto cost = std::make_shared<ConstantCostModel>(1_ms, 4_ms);
+    SystemConfig cfg;
+    cfg.buffers = 2;
+    RenderSystem sys(cfg, animation(cost, 500_ms));
+    sys.run();
+    EXPECT_GT(sys.stats().presents(), 20u);
+    check_conservation(sys);
+}
+
+TEST(FailureInjection, PrerenderLimitOneStillDecouples)
+{
+    auto cost = std::make_shared<ConstantCostModel>(1_ms, 4_ms);
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    cfg.buffers = 3;
+    cfg.prerender_limit = 1;
+    RenderSystem sys(cfg, animation(cost, 500_ms));
+    sys.run();
+    EXPECT_GT(sys.fpe()->pre_rendered_frames(), 10u);
+    EXPECT_EQ(sys.stats().frame_drops(), 0u);
+}
+
+TEST(FailureInjection, EmptyScenarioRunsToCompletion)
+{
+    Scenario sc("empty");
+    sc.idle(200_ms);
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    RenderSystem sys(cfg, sc);
+    sys.run();
+    EXPECT_EQ(sys.stats().presents(), 0u);
+    EXPECT_EQ(sys.stats().frame_drops(), 0u);
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the optional GPU pipeline stage: command buffers execute on
+ * the GPU in submission order after the render thread records them, and
+ * the render thread overlaps the next frame with the previous frame's
+ * GPU work.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/render_system.h"
+#include "workload/frame_cost.h"
+#include "workload/trace.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+namespace {
+
+Scenario
+animation(std::shared_ptr<const FrameCostModel> cost, Time duration)
+{
+    Scenario sc("t");
+    sc.animate(duration, std::move(cost));
+    return sc;
+}
+
+} // namespace
+
+TEST(GpuStage, ZeroGpuTimeSkipsTheStage)
+{
+    auto cost = std::make_shared<ConstantCostModel>(FrameCost{1_ms, 4_ms});
+    SystemConfig cfg;
+    RenderSystem sys(cfg, animation(cost, 300_ms));
+    sys.run();
+    EXPECT_EQ(sys.producer().gpu().jobs(), 0u);
+    for (const auto &rec : sys.producer().records())
+        EXPECT_EQ(rec.gpu_start, kTimeNone);
+}
+
+TEST(GpuStage, GpuWorkRunsAfterRenderAndBeforeQueue)
+{
+    auto cost =
+        std::make_shared<ConstantCostModel>(FrameCost{1_ms, 3_ms, 4_ms});
+    SystemConfig cfg;
+    RenderSystem sys(cfg, animation(cost, 300_ms));
+    sys.run();
+
+    EXPECT_GT(sys.producer().gpu().jobs(), 10u);
+    for (const auto &rec : sys.producer().records()) {
+        ASSERT_NE(rec.gpu_start, kTimeNone);
+        EXPECT_GE(rec.gpu_start, rec.render_end);
+        EXPECT_EQ(rec.gpu_end - rec.gpu_start, 4_ms);
+        EXPECT_EQ(rec.queue_time, rec.gpu_end);
+    }
+    EXPECT_EQ(sys.stats().frame_drops(), 0u);
+}
+
+TEST(GpuStage, RenderThreadOverlapsGpuExecution)
+{
+    // CPU recording is short; GPU execution is long: frame n+1's render
+    // must start while frame n is still on the GPU.
+    auto cost =
+        std::make_shared<ConstantCostModel>(FrameCost{1_ms, 2_ms, 9_ms});
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    RenderSystem sys(cfg, animation(cost, 300_ms));
+    sys.run();
+
+    const auto &recs = sys.producer().records();
+    ASSERT_GT(recs.size(), 4u);
+    bool overlapped = false;
+    for (std::size_t i = 1; i < recs.size(); ++i) {
+        if (recs[i].render_start < recs[i - 1].gpu_end)
+            overlapped = true;
+    }
+    EXPECT_TRUE(overlapped);
+    EXPECT_EQ(sys.stats().frame_drops(), 0u);
+}
+
+TEST(GpuStage, GpuBoundFrameDropsUnderVsyncAbsorbedByDvsync)
+{
+    // A GPU-bound spike (heavy particle pass) with cheap CPU stages.
+    auto cost = std::make_shared<PeriodicSpikeCostModel>(
+        FrameCost{1_ms, 2_ms, 4_ms}, FrameCost{1_ms, 2_ms, 30_ms}, 20,
+        10);
+
+    SystemConfig vs;
+    RenderSystem a(vs, animation(cost, 600_ms));
+    a.run();
+
+    SystemConfig dv;
+    dv.mode = RenderMode::kDvsync;
+    RenderSystem b(dv, animation(cost, 600_ms));
+    b.run();
+
+    EXPECT_GT(a.stats().frame_drops(), 0u);
+    EXPECT_EQ(b.stats().frame_drops(), 0u);
+}
+
+TEST(GpuStage, GpuExecutesInSubmissionOrder)
+{
+    auto cost =
+        std::make_shared<ConstantCostModel>(FrameCost{1_ms, 2_ms, 6_ms});
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    RenderSystem sys(cfg, animation(cost, 400_ms));
+    sys.run();
+
+    Time prev = kTimeNone;
+    for (const auto &rec : sys.producer().records()) {
+        if (prev != kTimeNone) {
+            EXPECT_GE(rec.gpu_start, prev);
+        }
+        prev = rec.gpu_end;
+    }
+}
+
+TEST(GpuStage, TraceCsvCarriesGpuColumn)
+{
+    FrameTrace t;
+    t.frames = {{1_ms, 2_ms, 3_ms}};
+    const FrameTrace back = FrameTrace::from_csv(t.to_csv());
+    ASSERT_EQ(back.frames.size(), 1u);
+    EXPECT_EQ(back.frames[0].gpu_time, 3_ms);
+
+    // Two-column legacy rows still parse (gpu defaults to zero).
+    const FrameTrace legacy =
+        FrameTrace::from_csv("ui_us,render_us\n1000.0,2000.0\n");
+    ASSERT_EQ(legacy.frames.size(), 1u);
+    EXPECT_EQ(legacy.frames[0].gpu_time, 0);
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for touch streams and the gesture synthesizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "input/gesture.h"
+#include "input/touch_event.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+TEST(TouchStream, LatestAtFindsPrecedingEvent)
+{
+    TouchStream s;
+    s.push({10_ms, TouchPhase::kDown, 0, 100, 0});
+    s.push({20_ms, TouchPhase::kMove, 0, 200, 0});
+    s.push({30_ms, TouchPhase::kUp, 0, 300, 0});
+
+    EXPECT_EQ(s.latest_at(5_ms), nullptr);
+    EXPECT_DOUBLE_EQ(s.latest_at(10_ms)->y, 100);
+    EXPECT_DOUBLE_EQ(s.latest_at(25_ms)->y, 200);
+    EXPECT_DOUBLE_EQ(s.latest_at(99_s)->y, 300);
+    EXPECT_EQ(s.start_time(), 10_ms);
+    EXPECT_EQ(s.end_time(), 30_ms);
+}
+
+TEST(TouchStream, WindowIsHalfOpen)
+{
+    TouchStream s;
+    for (int i = 1; i <= 5; ++i)
+        s.push({Time(i) * 10_ms, TouchPhase::kMove, 0, double(i), 0});
+    const auto w = s.window(10_ms, 40_ms); // (10, 40]
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_DOUBLE_EQ(w.front().y, 2);
+    EXPECT_DOUBLE_EQ(w.back().y, 4);
+}
+
+TEST(TouchStream, InterpolateBetweenSamples)
+{
+    TouchStream s;
+    s.push({0, TouchPhase::kDown, 0, 0, 100});
+    s.push({10_ms, TouchPhase::kUp, 10, 100, 200});
+    const TouchEvent mid = s.interpolate(5_ms);
+    EXPECT_DOUBLE_EQ(mid.y, 50);
+    EXPECT_DOUBLE_EQ(mid.x, 5);
+    EXPECT_DOUBLE_EQ(mid.pinch_distance, 150);
+    // Clamped at the ends.
+    EXPECT_DOUBLE_EQ(s.interpolate(-5_ms).y, 0);
+    EXPECT_DOUBLE_EQ(s.interpolate(50_ms).y, 100);
+}
+
+TEST(TouchStream, TouchValuePrefersPinch)
+{
+    TouchEvent ev;
+    ev.y = 42;
+    EXPECT_DOUBLE_EQ(touch_value(ev), 42);
+    ev.pinch_distance = 300;
+    EXPECT_DOUBLE_EQ(touch_value(ev), 300);
+}
+
+TEST(Gesture, SwipeCoversDistanceWithEaseOut)
+{
+    GestureTiming timing;
+    timing.duration = 300_ms;
+    timing.report_hz = 120.0;
+    const TouchStream s = make_swipe(timing, 1500.0, 800.0);
+
+    ASSERT_FALSE(s.empty());
+    EXPECT_EQ(s.events().front().phase, TouchPhase::kDown);
+    EXPECT_EQ(s.events().back().phase, TouchPhase::kUp);
+    EXPECT_DOUBLE_EQ(s.events().front().y, 1500.0);
+    EXPECT_NEAR(s.events().back().y, 700.0, 1e-6);
+    // Ease-out: more than half the distance covered by half time.
+    EXPECT_LT(s.interpolate(150_ms).y, 1500.0 - 400.0);
+    // Sample count ~ duration * rate.
+    EXPECT_NEAR(double(s.size()), 0.3 * 120.0, 3.0);
+}
+
+TEST(Gesture, DragHasConstantVelocity)
+{
+    GestureTiming timing;
+    timing.duration = 500_ms;
+    const TouchStream s = make_drag(timing, 2000.0, 1000.0);
+    EXPECT_NEAR(s.interpolate(250_ms).y, 2000.0 - 250.0, 1.0);
+    EXPECT_NEAR(s.events().back().y, 1500.0, 1.0);
+}
+
+TEST(Gesture, PinchInterpolatesDistanceSmoothly)
+{
+    GestureTiming timing;
+    timing.duration = 400_ms;
+    const TouchStream s = make_pinch(timing, 200.0, 600.0);
+    EXPECT_NEAR(s.events().front().pinch_distance, 200.0, 1e-6);
+    EXPECT_NEAR(s.events().back().pinch_distance, 600.0, 1e-6);
+    EXPECT_NEAR(s.interpolate(200_ms).pinch_distance, 400.0, 5.0);
+    // Monotone growth for an expanding pinch.
+    double prev = 0;
+    for (const TouchEvent &ev : s.events()) {
+        EXPECT_GE(ev.pinch_distance, prev - 1e-9);
+        prev = ev.pinch_distance;
+    }
+}
+
+TEST(Gesture, NoiseAddsScatterButNotBias)
+{
+    GestureTiming timing;
+    timing.duration = 1_s;
+    timing.noise_px = 5.0;
+    Rng rng(3);
+    const TouchStream noisy = make_drag(timing, 1000.0, 500.0, &rng);
+    const TouchStream clean = make_drag(timing, 1000.0, 500.0);
+    ASSERT_EQ(noisy.size(), clean.size());
+    double bias = 0, scatter = 0;
+    for (std::size_t i = 0; i < noisy.size(); ++i) {
+        const double d = noisy.events()[i].y - clean.events()[i].y;
+        bias += d;
+        scatter += std::abs(d);
+    }
+    bias /= double(noisy.size());
+    scatter /= double(noisy.size());
+    EXPECT_LT(std::abs(bias), 2.0);
+    EXPECT_GT(scatter, 1.0);
+}
+
+TEST(Gesture, TimestampsStartAtConfiguredTime)
+{
+    GestureTiming timing;
+    timing.start = 250_ms;
+    timing.duration = 100_ms;
+    const TouchStream s = make_swipe(timing, 100, 50);
+    EXPECT_EQ(s.start_time(), 250_ms);
+    EXPECT_EQ(s.end_time(), 350_ms);
+}

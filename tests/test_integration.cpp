@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Integration and property tests across the whole stack: determinism,
+ * conservation invariants, the headline D-VSync properties swept over
+ * seeds / devices / buffer counts (parameterized), and the animation
+ * correctness (judder) story of §4.4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "anim/judder.h"
+#include "core/render_system.h"
+#include "metrics/stutter_model.h"
+#include "workload/app_profiles.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+namespace {
+
+Scenario
+app_scenario(std::uint64_t seed, double refresh_hz, int swipes = 20)
+{
+    ProfileSpec spec;
+    spec.heavy_per_sec = 3.5;
+    spec.heavy_min_periods = 1.2;
+    spec.heavy_max_periods = 3.5;
+    spec.heavy_alpha = 1.4;
+    spec.heavy_burst = 0.2;
+    auto cost = make_cost_model(spec, refresh_hz, seed);
+    return make_swipe_scenario("app", swipes, 500_ms, cost, 0.7);
+}
+
+struct RunOutcome {
+    std::uint64_t drops;
+    std::uint64_t presents;
+    double latency_mean;
+    std::uint64_t stutters;
+};
+
+RunOutcome
+run_once(RenderMode mode, std::uint64_t seed, DeviceConfig device,
+         int buffers = 0)
+{
+    SystemConfig cfg;
+    cfg.device = device;
+    cfg.mode = mode;
+    cfg.buffers = buffers;
+    cfg.seed = seed;
+    RenderSystem sys(cfg, app_scenario(seed, device.refresh_hz));
+    sys.run();
+    return RunOutcome{sys.stats().frame_drops(), sys.stats().presents(),
+                      sys.stats().latency().mean(),
+                      count_stutters(sys.stats())};
+}
+
+} // namespace
+
+// ----- determinism -----------------------------------------------------------
+
+TEST(Integration, SameSeedSameOutcome)
+{
+    const RunOutcome a = run_once(RenderMode::kDvsync, 7, pixel5());
+    const RunOutcome b = run_once(RenderMode::kDvsync, 7, pixel5());
+    EXPECT_EQ(a.drops, b.drops);
+    EXPECT_EQ(a.presents, b.presents);
+    EXPECT_DOUBLE_EQ(a.latency_mean, b.latency_mean);
+}
+
+TEST(Integration, DifferentSeedsDifferentWorkloads)
+{
+    const RunOutcome a = run_once(RenderMode::kVsync, 1, pixel5());
+    const RunOutcome b = run_once(RenderMode::kVsync, 2, pixel5());
+    // Same scenario shape but different key-frame placement.
+    EXPECT_NE(a.drops, b.drops);
+}
+
+// ----- conservation ------------------------------------------------------------
+
+TEST(Integration, EveryProducedFramePresentsExactlyOnce)
+{
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    RenderSystem sys(cfg, app_scenario(3, 60.0, 10));
+    sys.run();
+    std::vector<int> seen(sys.producer().records().size(), 0);
+    for (const ShownFrame &f : sys.stats().shown())
+        ++seen[f.frame_id];
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], 1) << "frame " << i;
+}
+
+TEST(Integration, PresentsNeverExceedDue)
+{
+    for (RenderMode mode : {RenderMode::kVsync, RenderMode::kDvsync}) {
+        SystemConfig cfg;
+        cfg.mode = mode;
+        RenderSystem sys(cfg, app_scenario(11, 60.0, 10));
+        sys.run();
+        EXPECT_LE(std::int64_t(sys.stats().presents()),
+                  sys.stats().frames_due());
+    }
+}
+
+TEST(Integration, PresentTimesStrictlyIncreaseOnePerRefresh)
+{
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    RenderSystem sys(cfg, app_scenario(5, 60.0, 10));
+    sys.run();
+    Time prev = kTimeNone;
+    for (const ShownFrame &f : sys.stats().shown()) {
+        if (prev != kTimeNone) {
+            EXPECT_GT(f.present_time, prev);
+            EXPECT_GE(f.present_time - prev, 16'666'666);
+        }
+        prev = f.present_time;
+    }
+}
+
+// ----- the headline properties, swept ----------------------------------------------
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeedSweep, DvsyncNeverDropsMoreThanVsync)
+{
+    const std::uint64_t seed = GetParam();
+    const RunOutcome vs = run_once(RenderMode::kVsync, seed, pixel5());
+    const RunOutcome dv = run_once(RenderMode::kDvsync, seed, pixel5());
+    EXPECT_LE(dv.drops, vs.drops) << "seed " << seed;
+}
+
+TEST_P(SeedSweep, DvsyncLatencyNeverWorseThanVsync)
+{
+    const std::uint64_t seed = GetParam();
+    const RunOutcome vs = run_once(RenderMode::kVsync, seed, pixel5());
+    const RunOutcome dv = run_once(RenderMode::kDvsync, seed, pixel5());
+    EXPECT_LE(dv.latency_mean, vs.latency_mean + 1e3) << "seed " << seed;
+}
+
+TEST_P(SeedSweep, DvsyncStuttersNeverWorseThanVsync)
+{
+    const std::uint64_t seed = GetParam();
+    const RunOutcome vs = run_once(RenderMode::kVsync, seed, pixel5());
+    const RunOutcome dv = run_once(RenderMode::kDvsync, seed, pixel5());
+    EXPECT_LE(dv.stutters, vs.stutters) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+class DeviceSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    DeviceConfig
+    device() const
+    {
+        switch (GetParam()) {
+          case 0:
+            return pixel5();
+          case 1:
+            return mate40_pro();
+          default:
+            return mate60_pro();
+        }
+    }
+};
+
+TEST_P(DeviceSweep, DvsyncReducesDropsOnEveryDevice)
+{
+    const RunOutcome vs = run_once(RenderMode::kVsync, 17, device());
+    const RunOutcome dv = run_once(RenderMode::kDvsync, 17, device());
+    EXPECT_GT(vs.drops, 0u);
+    EXPECT_LT(double(dv.drops), 0.7 * double(vs.drops));
+}
+
+TEST_P(DeviceSweep, DvsyncLatencySitsNearTheFloor)
+{
+    const DeviceConfig dev = device();
+    const RunOutcome dv = run_once(RenderMode::kDvsync, 17, dev);
+    const double floor_ns = 2.0 * double(dev.period());
+    EXPECT_GE(dv.latency_mean, floor_ns - 1e3);
+    EXPECT_LT(dv.latency_mean, floor_ns + 0.4 * double(dev.period()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Devices, DeviceSweep, ::testing::Values(0, 1, 2));
+
+class BufferSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BufferSweep, MoreBuffersNeverIncreaseDrops)
+{
+    const int buffers = GetParam();
+    const RunOutcome smaller =
+        run_once(RenderMode::kDvsync, 23, pixel5(), buffers);
+    const RunOutcome larger =
+        run_once(RenderMode::kDvsync, 23, pixel5(), buffers + 1);
+    EXPECT_LE(larger.drops, smaller.drops) << buffers << " buffers";
+}
+
+INSTANTIATE_TEST_SUITE_P(Buffers, BufferSweep,
+                         ::testing::Values(4, 5, 6));
+
+// ----- animation correctness (§4.4) ---------------------------------------------
+
+TEST(Integration, DtvEliminatesJudderUnderLoad)
+{
+    // Play a fling animation with heavy key frames and score how far the
+    // shown content deviates from ideal pacing. VSync judders at drops;
+    // D-VSync with DTV stays uniform.
+    auto cost = std::make_shared<PeriodicSpikeCostModel>(
+        FrameCost{2_ms, 5_ms}, FrameCost{2_ms, 30_ms}, 15, -7);
+    Scenario sc("fling");
+    sc.animate(1_s, cost);
+
+    auto score = [&](RenderMode mode) {
+        SystemConfig cfg;
+        cfg.mode = mode;
+        RenderSystem sys(cfg, sc);
+        sys.run();
+        Animation anim(ease_out(), 0, 1_s, 0.0, 2000.0);
+        std::vector<DisplayedFrame> frames;
+        for (const ShownFrame &f : sys.stats().shown())
+            frames.push_back({f.content_timestamp, f.present_time});
+        return score_playback(anim, frames);
+    };
+
+    const JudderReport vsync = score(RenderMode::kVsync);
+    const JudderReport dvsync = score(RenderMode::kDvsync);
+    // VSync: drops leave frames presenting a period away from what they
+    // sampled -> position error. D-VSync: DTV keeps content == present.
+    EXPECT_GT(vsync.position_error_px.max(), 10.0);
+    EXPECT_NEAR(dvsync.position_error_px.max(), 0.0, 1e-6);
+    // And VSync's lag floor is ~2 periods while D-VSync's is ~0.
+    EXPECT_GT(vsync.content_offset, 30_ms);
+    EXPECT_EQ(dvsync.content_offset, 0);
+}
+
+TEST(Integration, ActivityFeedsPowerModel)
+{
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    RenderSystem sys(cfg, app_scenario(29, 60.0, 10));
+    sys.run();
+    const RunActivity a = sys.activity();
+    EXPECT_TRUE(a.dvsync_on);
+    EXPECT_GT(a.frames_produced, 100u);
+    EXPECT_GT(a.pipeline_busy, 0);
+    EXPECT_EQ(a.wall_time, sys.producer().scenario().total_duration());
+}

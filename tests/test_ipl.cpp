@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the Input Prediction Layer: fitters, registry, and
+ * end-to-end prediction accuracy against ground truth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/input_prediction_layer.h"
+#include "input/gesture.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+namespace {
+
+/** A stream with value = a + b*t (t in seconds). */
+TouchStream
+linear_stream(double a, double b, Time until, Time step = 8_ms)
+{
+    TouchStream s;
+    for (Time t = 0; t <= until; t += step) {
+        TouchEvent ev;
+        ev.timestamp = t;
+        ev.y = a + b * to_seconds(t);
+        s.push(ev);
+    }
+    return s;
+}
+
+/** A stream with value = a + b*t + c*t^2. */
+TouchStream
+quadratic_stream(double a, double b, double c, Time until, Time step = 8_ms)
+{
+    TouchStream s;
+    for (Time t = 0; t <= until; t += step) {
+        const double ts = to_seconds(t);
+        TouchEvent ev;
+        ev.timestamp = t;
+        ev.y = a + b * ts + c * ts * ts;
+        s.push(ev);
+    }
+    return s;
+}
+
+} // namespace
+
+TEST(Ipl, LastValuePredictorRepeatsLatest)
+{
+    const TouchStream s = linear_stream(100, 1000, 200_ms);
+    LastValuePredictor p;
+    const double v = p.predict(s, 100_ms, 150_ms);
+    EXPECT_NEAR(v, 100 + 1000 * 0.096, 5.0); // latest sample at ~96-100ms
+}
+
+TEST(Ipl, LinearPredictorExtrapolatesExactly)
+{
+    const TouchStream s = linear_stream(100, 1000, 200_ms);
+    LinearPredictor p(80_ms);
+    // Predict 50 ms into the future from t=200ms.
+    const double v = p.predict(s, 200_ms, 250_ms);
+    EXPECT_NEAR(v, 100 + 1000 * 0.250, 0.5);
+}
+
+TEST(Ipl, LinearBeatsLastValueOnMovingInput)
+{
+    const TouchStream s = linear_stream(0, 2000, 300_ms);
+    LinearPredictor lin;
+    LastValuePredictor last;
+    const Time now = 300_ms, target = 333_ms;
+    const double truth = 2000 * to_seconds(target);
+    EXPECT_LT(std::abs(lin.predict(s, now, target) - truth),
+              std::abs(last.predict(s, now, target) - truth));
+}
+
+TEST(Ipl, QuadraticCapturesCurvature)
+{
+    const TouchStream s = quadratic_stream(0, 100, 4000, 300_ms);
+    QuadraticPredictor quad(150_ms);
+    LinearPredictor lin(150_ms);
+    const Time now = 300_ms, target = 350_ms;
+    const double ts = to_seconds(target);
+    const double truth = 100 * ts + 4000 * ts * ts;
+    EXPECT_LT(std::abs(quad.predict(s, now, target) - truth),
+              std::abs(lin.predict(s, now, target) - truth));
+    EXPECT_NEAR(quad.predict(s, now, target), truth, 2.0);
+}
+
+TEST(Ipl, PredictorsDegradeGracefullyWithFewPoints)
+{
+    TouchStream s;
+    TouchEvent ev;
+    ev.timestamp = 0;
+    ev.y = 42;
+    s.push(ev);
+    LinearPredictor lin;
+    QuadraticPredictor quad;
+    EXPECT_NEAR(lin.predict(s, 1_ms, 50_ms), 42, 1e-9);
+    EXPECT_NEAR(quad.predict(s, 1_ms, 50_ms), 42, 1e-9);
+}
+
+TEST(Ipl, PredictorsUsePinchDistanceWhenPresent)
+{
+    GestureTiming timing;
+    timing.duration = 400_ms;
+    const TouchStream s = make_pinch(timing, 200, 600);
+    LinearPredictor p;
+    // Mid-gesture prediction lands near the interpolated truth.
+    const double v = p.predict(s, 200_ms, 216_ms);
+    const double truth = touch_value(s.interpolate(216_ms));
+    EXPECT_NEAR(v, truth, 15.0);
+}
+
+TEST(Ipl, RegistryRoutesByLabel)
+{
+    InputPredictionLayer ipl;
+    EXPECT_FALSE(ipl.has("zoom"));
+    ipl.register_predictor("zoom", std::make_shared<LinearPredictor>());
+    EXPECT_TRUE(ipl.has("zoom"));
+    EXPECT_STREQ(ipl.find("zoom")->name(), "linear");
+    EXPECT_EQ(ipl.find("pan"), nullptr);
+
+    const TouchStream s = linear_stream(0, 1000, 100_ms);
+    ipl.predict("zoom", s, 100_ms, 120_ms);
+    EXPECT_EQ(ipl.predictions(), 1u);
+
+    ipl.unregister_predictor("zoom");
+    EXPECT_FALSE(ipl.has("zoom"));
+}
+
+TEST(Ipl, ZdpStylePredictionReducesZoomError)
+{
+    // The §6.5 scenario: a pinch zoom predicted ~2 periods (33 ms) ahead.
+    GestureTiming timing;
+    timing.duration = 500_ms;
+    const TouchStream s = make_pinch(timing, 150, 800);
+    LinearPredictor zdp(80_ms);
+    LastValuePredictor stale;
+
+    double err_zdp = 0, err_stale = 0;
+    int n = 0;
+    for (Time now = 100_ms; now <= 400_ms; now += 16'666'666) {
+        const Time target = now + 33_ms;
+        const double truth = touch_value(s.interpolate(target));
+        err_zdp += std::abs(zdp.predict(s, now, target) - truth);
+        err_stale += std::abs(stale.predict(s, now, target) - truth);
+        ++n;
+    }
+    EXPECT_LT(err_zdp / n, err_stale / n / 3.0);
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tests for the logging level gate (the fatal/panic paths terminate the
+ * process and are exercised via death tests).
+ */
+
+#include <gtest/gtest.h>
+
+#include "buffer/buffer_queue.h"
+#include "sim/logging.h"
+
+using namespace dvs;
+
+namespace {
+
+/** RAII guard restoring the global log level. */
+struct LevelGuard {
+    LevelGuard() : saved(log_level()) {}
+    ~LevelGuard() { set_log_level(saved); }
+    LogLevel saved;
+};
+
+} // namespace
+
+TEST(Logging, LevelRoundTrips)
+{
+    LevelGuard guard;
+    set_log_level(LogLevel::kDebug);
+    EXPECT_EQ(log_level(), LogLevel::kDebug);
+    set_log_level(LogLevel::kNone);
+    EXPECT_EQ(log_level(), LogLevel::kNone);
+}
+
+TEST(Logging, NonFatalCallsDoNotTerminate)
+{
+    LevelGuard guard;
+    set_log_level(LogLevel::kTrace);
+    warn("test warn %d", 1);
+    inform("test inform %s", "x");
+    debug("test debug");
+    set_log_level(LogLevel::kNone);
+    warn("suppressed");
+    SUCCEED();
+}
+
+TEST(LoggingDeathTest, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("bad config %d", 7), ::testing::ExitedWithCode(1),
+                "bad config 7");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant %s", "broken"), "invariant broken");
+}
+
+TEST(LoggingDeathTest, BufferQueueRejectsTinyCapacity)
+{
+    // fatal() paths in constructors are reachable and user-attributable.
+    EXPECT_EXIT(
+        {
+            BufferQueue q(1);
+            (void)q;
+        },
+        ::testing::ExitedWithCode(1), "at least 2 slots");
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests of the D-VSync × LTPO co-design (§5.3): rendering-rate binding,
+ * drain-before-switch, and the invariant that no frame is displayed at a
+ * rate other than the one it was rendered for.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ltpo_codesign.h"
+#include "core/render_system.h"
+#include "workload/frame_cost.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+namespace {
+
+/**
+ * A harness that drives a D-VSync run on a 120 Hz LTPO panel whose LTPO
+ * decision follows a scripted motion speed: fast for the first part of
+ * the animation, slow afterwards (a decelerating fling).
+ */
+struct LtpoRun {
+    explicit LtpoRun(Time anim = 800_ms, double slow_after_ms = 400.0)
+        : config(make_config()), scenario(make_scenario(anim)),
+          system(config, scenario),
+          ltpo(LtpoController::for_rates({120.0, 60.0})),
+          codesign(system.hw_vsync(), system.queue(), ltpo,
+                   system.producer())
+    {
+        // Speed source: 3000 px/s while t < slow_after, then 10 px/s.
+        ltpo.set_speed_source([this, slow_after_ms] {
+            return to_ms(system.sim().now()) < slow_after_ms ? 3000.0
+                                                             : 10.0;
+        });
+        system.panel().add_present_listener(
+            [this](const PresentEvent &ev) { presents.push_back(ev); });
+    }
+
+    static SystemConfig
+    make_config()
+    {
+        SystemConfig cfg;
+        cfg.device = mate60_pro();
+        cfg.mode = RenderMode::kDvsync;
+        return cfg;
+    }
+
+    static Scenario
+    make_scenario(Time anim)
+    {
+        Scenario sc("fling");
+        sc.animate(anim,
+                   std::make_shared<ConstantCostModel>(1_ms, 3_ms));
+        return sc;
+    }
+
+    SystemConfig config;
+    Scenario scenario;
+    RenderSystem system;
+    LtpoController ltpo;
+    LtpoCodesign codesign;
+    std::vector<PresentEvent> presents;
+};
+
+} // namespace
+
+TEST(LtpoCodesign, ScreenSwitchesRateAfterMotionSlows)
+{
+    LtpoRun run;
+    run.system.run();
+    ASSERT_GT(run.codesign.switches(), 0u);
+
+    bool saw_120 = false, saw_60 = false;
+    for (const PresentEvent &ev : run.presents) {
+        if (ev.rate_hz == 120.0)
+            saw_120 = true;
+        if (ev.rate_hz == 60.0)
+            saw_60 = true;
+    }
+    EXPECT_TRUE(saw_120);
+    EXPECT_TRUE(saw_60);
+}
+
+TEST(LtpoCodesign, EveryFrameDisplaysAtItsBoundRate)
+{
+    // The §5.3 invariant: frames rendered at X Hz are not displayed at
+    // Y Hz. Every latched frame's display period follows its binding.
+    LtpoRun run;
+    run.system.run();
+    int checked = 0;
+    for (const PresentEvent &ev : run.presents) {
+        if (ev.repeat || ev.meta.render_rate_hz == 0)
+            continue;
+        EXPECT_DOUBLE_EQ(ev.rate_hz, ev.meta.render_rate_hz)
+            << "frame " << ev.meta.frame_id << " at "
+            << format_time(ev.present_time);
+        ++checked;
+    }
+    EXPECT_GT(checked, 40);
+}
+
+TEST(LtpoCodesign, SwitchDeferredWhileOldRateBuffersDrain)
+{
+    // With accumulated 120 Hz buffers in the queue at the moment LTPO
+    // asks for 60 Hz, the switch must wait for them to drain.
+    LtpoRun run;
+    run.system.run();
+    EXPECT_GT(run.codesign.deferred(), 0u);
+
+    // Between the LTPO decision (at 400 ms) and the actual switch, the
+    // screen kept presenting at 120 Hz.
+    Time switch_time = kTimeNone;
+    for (const PresentEvent &ev : run.presents) {
+        if (ev.rate_hz == 60.0) {
+            switch_time = ev.present_time;
+            break;
+        }
+    }
+    ASSERT_NE(switch_time, kTimeNone);
+    EXPECT_GT(switch_time, 400_ms);
+}
+
+TEST(LtpoCodesign, RenderingRateChangesImmediately)
+{
+    // The *production* side switches as soon as LTPO decides, even while
+    // the screen still drains old-rate buffers.
+    LtpoRun run;
+    run.system.run();
+    Time first_60_produced = kTimeNone;
+    for (const auto &rec : run.system.producer().records()) {
+        if (rec.rate_hz == 60.0) {
+            first_60_produced = rec.trigger_time;
+            break;
+        }
+    }
+    ASSERT_NE(first_60_produced, kTimeNone);
+    // Production flips within a couple of (8.3 ms) periods of 400 ms.
+    EXPECT_LT(first_60_produced, 400_ms + 25_ms);
+}
+
+TEST(LtpoCodesign, NoDropsAcrossTheRateSwitch)
+{
+    LtpoRun run;
+    run.system.run();
+    EXPECT_EQ(run.system.stats().frame_drops(), 0u);
+}
+
+TEST(LtpoCodesign, StaticContentSwitchesDirectly)
+{
+    // With an empty queue (idle), the panel may switch without draining.
+    SystemConfig cfg;
+    cfg.device = mate60_pro();
+    cfg.mode = RenderMode::kDvsync;
+    Scenario sc("idle");
+    sc.idle(200_ms)
+        .animate(200_ms, std::make_shared<ConstantCostModel>(1_ms, 3_ms))
+        .idle(300_ms);
+    RenderSystem sys(cfg, sc);
+    LtpoController ltpo = LtpoController::for_rates({120.0, 60.0});
+    LtpoCodesign codesign(sys.hw_vsync(), sys.queue(), ltpo,
+                          sys.producer());
+    // Speed: fast only during the animation window.
+    ltpo.set_speed_source([&] {
+        const Time t = sys.sim().now();
+        return (t >= 200_ms && t < 400_ms) ? 3000.0 : 0.0;
+    });
+    sys.run();
+    // Two switches: up to 120 when the animation starts producing and
+    // back down to 60 when the queue drains after it ends.
+    EXPECT_GE(codesign.switches(), 2u);
+    EXPECT_EQ(sys.stats().frame_drops(), 0u);
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for manual multi-layer wiring: several producers with their own
+ * buffer queues and D-VSync stacks sharing one hardware VSync generator
+ * and one software vsync distributor — the render-service composition of
+ * §5.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/display_time_virtualizer.h"
+#include "core/dvsync_runtime.h"
+#include "core/frame_pre_executor.h"
+#include "metrics/frame_stats.h"
+#include "workload/frame_cost.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+namespace {
+
+struct Layer {
+    Layer(Simulator &sim, HwVsyncGenerator &hw, VsyncDistributor &dist,
+          Scenario scenario, bool dvsync)
+        : queue(dvsync ? 4 : 3), panel(hw, queue),
+          producer(sim, std::move(scenario), queue, dist)
+    {
+        if (dvsync) {
+            DvsyncConfig dc;
+            dc.prerender_limit = 2;
+            runtime = std::make_unique<DvsyncRuntime>(dc);
+            dtv = std::make_unique<DisplayTimeVirtualizer>(sim, hw, panel,
+                                                           dc);
+            fpe = std::make_unique<FramePreExecutor>(*dtv, queue, panel,
+                                                     *runtime, dc);
+            runtime->bind(producer, *dtv, *fpe, queue);
+            producer.set_pacer(fpe.get());
+        } else {
+            pacer = std::make_unique<VsyncPacer>();
+            producer.set_pacer(pacer.get());
+        }
+        stats = std::make_unique<FrameStats>(producer, panel);
+    }
+
+    BufferQueue queue;
+    Panel panel;
+    Producer producer;
+    std::unique_ptr<VsyncPacer> pacer;
+    std::unique_ptr<DvsyncRuntime> runtime;
+    std::unique_ptr<DisplayTimeVirtualizer> dtv;
+    std::unique_ptr<FramePreExecutor> fpe;
+    std::unique_ptr<FrameStats> stats;
+};
+
+Scenario
+light(Time duration)
+{
+    Scenario sc("light");
+    sc.animate(duration, std::make_shared<ConstantCostModel>(1_ms, 3_ms));
+    return sc;
+}
+
+Scenario
+spiky(Time duration)
+{
+    auto cost = std::make_shared<PeriodicSpikeCostModel>(
+        FrameCost{2_ms, 5_ms}, FrameCost{2_ms, 30_ms}, 15, 7);
+    Scenario sc("spiky");
+    sc.animate(duration, cost);
+    return sc;
+}
+
+} // namespace
+
+TEST(MultiLayer, TwoLayersShareOneHardwareVsync)
+{
+    Simulator sim(5);
+    HwVsyncGenerator hw(sim, 60.0);
+    VsyncDistributor dist(sim, hw);
+
+    Layer a(sim, hw, dist, light(500_ms), true);
+    Layer b(sim, hw, dist, light(500_ms), true);
+
+    hw.start();
+    a.producer.start(0);
+    b.producer.start(0);
+    sim.run_until(700_ms);
+    hw.stop();
+
+    EXPECT_EQ(a.stats->frame_drops(), 0u);
+    EXPECT_EQ(b.stats->frame_drops(), 0u);
+    EXPECT_EQ(std::int64_t(a.stats->presents()), a.stats->frames_due());
+    EXPECT_EQ(std::int64_t(b.stats->presents()), b.stats->frames_due());
+    // Both layers pace at the same 60 Hz grid.
+    EXPECT_NEAR(a.stats->fps(), 60.0, 3.0);
+    EXPECT_NEAR(b.stats->fps(), 60.0, 3.0);
+}
+
+TEST(MultiLayer, HeavyLayerDoesNotDisturbLightLayer)
+{
+    Simulator sim(5);
+    HwVsyncGenerator hw(sim, 60.0);
+    VsyncDistributor dist(sim, hw);
+
+    Layer feed(sim, hw, dist, light(1_s), true);
+    Layer heavy(sim, hw, dist, spiky(1_s), true);
+
+    hw.start();
+    feed.producer.start(0);
+    heavy.producer.start(0);
+    sim.run_until(1300_ms);
+    hw.stop();
+
+    EXPECT_EQ(feed.stats->frame_drops(), 0u);
+    EXPECT_EQ(heavy.stats->frame_drops(), 0u); // absorbed by its bank
+    EXPECT_GT(heavy.fpe->pre_rendered_frames(), 20u);
+}
+
+TEST(MultiLayer, MixedArchitecturesCoexist)
+{
+    // One app still on the VSync path next to a decoupled one — the
+    // deployment reality of a staged rollout.
+    Simulator sim(5);
+    HwVsyncGenerator hw(sim, 60.0);
+    VsyncDistributor dist(sim, hw);
+
+    Layer legacy(sim, hw, dist, spiky(1_s), false);
+    Layer modern(sim, hw, dist, spiky(1_s), true);
+
+    hw.start();
+    legacy.producer.start(0);
+    modern.producer.start(0);
+    sim.run_until(1300_ms);
+    hw.stop();
+
+    EXPECT_GT(legacy.stats->frame_drops(), 0u);
+    EXPECT_EQ(modern.stats->frame_drops(), 0u);
+}
+
+TEST(MultiLayer, DtvPromisesStayExactPerLayer)
+{
+    Simulator sim(5);
+    HwVsyncGenerator hw(sim, 60.0);
+    VsyncDistributor dist(sim, hw);
+
+    Layer a(sim, hw, dist, light(600_ms), true);
+    Layer b(sim, hw, dist, spiky(600_ms), true);
+
+    hw.start();
+    a.producer.start(0);
+    b.producer.start(0);
+    sim.run_until(900_ms);
+    hw.stop();
+
+    EXPECT_EQ(a.dtv->promise_error().max(), 0.0);
+    EXPECT_EQ(b.dtv->promise_error().max(), 0.0);
+}

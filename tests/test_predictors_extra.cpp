@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the extended IPL predictors (alpha-beta, damped-trend).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/predictors_extra.h"
+#include "input/gesture.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+namespace {
+
+TouchStream
+linear_stream(double a, double b, Time until, Time step = 8_ms)
+{
+    TouchStream s;
+    for (Time t = 0; t <= until; t += step) {
+        TouchEvent ev;
+        ev.timestamp = t;
+        ev.y = a + b * to_seconds(t);
+        s.push(ev);
+    }
+    return s;
+}
+
+} // namespace
+
+TEST(AlphaBeta, TracksLinearMotion)
+{
+    const TouchStream s = linear_stream(100, 1500, 300_ms);
+    AlphaBetaPredictor p;
+    const double v = p.predict(s, 300_ms, 333_ms);
+    EXPECT_NEAR(v, 100 + 1500 * 0.333, 15.0);
+}
+
+TEST(AlphaBeta, BeatsLastValueOnNoisyMotion)
+{
+    GestureTiming timing;
+    timing.duration = 500_ms;
+    timing.noise_px = 4.0;
+    Rng rng(3);
+    const TouchStream s = make_drag(timing, 2000, 1200, &rng);
+
+    AlphaBetaPredictor ab;
+    LastValuePredictor last;
+    double err_ab = 0, err_last = 0;
+    int n = 0;
+    for (Time now = 150_ms; now <= 400_ms; now += 16'666'666) {
+        const Time target = now + 33_ms;
+        const double truth = touch_value(s.interpolate(target));
+        err_ab += std::abs(ab.predict(s, now, target) - truth);
+        err_last += std::abs(last.predict(s, now, target) - truth);
+        ++n;
+    }
+    EXPECT_LT(err_ab / n, err_last / n / 2.0);
+}
+
+TEST(AlphaBeta, FewSamplesFallBackToLastValue)
+{
+    TouchStream s;
+    TouchEvent ev;
+    ev.timestamp = 0;
+    ev.y = 55;
+    s.push(ev);
+    AlphaBetaPredictor p;
+    EXPECT_DOUBLE_EQ(p.predict(s, 1_ms, 40_ms), 55);
+}
+
+TEST(DampedTrend, ConservativeAtLongHorizons)
+{
+    // On a decelerating swipe, damped-trend must not overshoot as far as
+    // the raw linear fit at a long horizon.
+    GestureTiming timing;
+    timing.duration = 500_ms;
+    const TouchStream s = make_swipe(timing, 2000, 1400);
+
+    DampedTrendPredictor damped;
+    LinearPredictor linear(150_ms);
+    const Time now = 250_ms, target = 350_ms; // 100 ms ahead
+    const double truth = touch_value(s.interpolate(target));
+
+    const double lin = linear.predict(s, now, target);
+    const double dmp = damped.predict(s, now, target);
+    // The swipe decelerates: the linear fit undershoots (y decreases);
+    // damped-trend lands between last-value and linear.
+    EXPECT_LT(std::abs(dmp - truth), std::abs(lin - truth) + 40.0);
+}
+
+TEST(DampedTrend, TracksSteadyMotion)
+{
+    const TouchStream s = linear_stream(0, 1000, 300_ms);
+    DampedTrendPredictor p;
+    const double v = p.predict(s, 300_ms, 320_ms);
+    EXPECT_NEAR(v, 1000 * 0.320, 25.0);
+}
+
+TEST(DampedTrend, FewSamplesFallBackToLastValue)
+{
+    TouchStream s;
+    TouchEvent ev;
+    ev.timestamp = 0;
+    ev.y = 7;
+    s.push(ev);
+    DampedTrendPredictor p;
+    EXPECT_DOUBLE_EQ(p.predict(s, 1_ms, 40_ms), 7);
+}
+
+TEST(ExtraPredictors, RegisterOnIpl)
+{
+    InputPredictionLayer ipl;
+    ipl.register_predictor("pan", std::make_shared<AlphaBetaPredictor>());
+    ipl.register_predictor("fling",
+                           std::make_shared<DampedTrendPredictor>());
+    EXPECT_STREQ(ipl.find("pan")->name(), "alpha-beta");
+    EXPECT_STREQ(ipl.find("fling")->name(), "damped-trend");
+}

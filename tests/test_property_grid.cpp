@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Combinatorial property sweep: the architecture invariants must hold on
+ * every (refresh rate x buffer count x workload shape) combination.
+ *
+ * Each instantiation runs both architectures on the same seeded workload
+ * and checks the non-negotiables: conservation (every produced frame
+ * presents exactly once), FIFO present order, D-VSync never worse than
+ * VSync on drops, latency floors, and promise integrity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/render_system.h"
+#include "workload/app_profiles.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+namespace {
+
+struct GridParam {
+    double refresh_hz;
+    int dvsync_buffers;
+    double heavy_rate;   // key frames per second
+    double heavy_max;    // tail length in periods
+};
+
+std::string
+param_name(const ::testing::TestParamInfo<GridParam> &info)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "hz%d_buf%d_rate%d_tail%d",
+                  int(info.param.refresh_hz), info.param.dvsync_buffers,
+                  int(info.param.heavy_rate),
+                  int(info.param.heavy_max * 10));
+    return buf;
+}
+
+Scenario
+workload(const GridParam &p, std::uint64_t seed)
+{
+    ProfileSpec spec;
+    spec.name = "grid";
+    spec.heavy_per_sec = p.heavy_rate;
+    spec.heavy_min_periods = 1.2;
+    spec.heavy_max_periods = p.heavy_max;
+    spec.heavy_alpha = 1.5;
+    auto cost = make_cost_model(spec, p.refresh_hz, seed);
+    return make_swipe_scenario("grid", 8, 500_ms, cost, 0.7);
+}
+
+} // namespace
+
+class ArchitectureGrid : public ::testing::TestWithParam<GridParam>
+{
+  protected:
+    std::unique_ptr<RenderSystem>
+    run(RenderMode mode)
+    {
+        const GridParam &p = GetParam();
+        SystemConfig cfg;
+        cfg.device = pixel5();
+        cfg.device.refresh_hz = p.refresh_hz;
+        cfg.mode = mode;
+        cfg.buffers = mode == RenderMode::kDvsync ? p.dvsync_buffers : 0;
+        cfg.seed = 1234;
+        auto sys =
+            std::make_unique<RenderSystem>(cfg, workload(p, 1234));
+        sys->run();
+        return sys;
+    }
+};
+
+TEST_P(ArchitectureGrid, ConservationAndOrder)
+{
+    for (RenderMode mode : {RenderMode::kVsync, RenderMode::kDvsync}) {
+        auto sys = run(mode);
+
+        // Every produced frame presents exactly once, in FIFO order.
+        std::vector<int> seen(sys->producer().records().size(), 0);
+        Time prev_present = kTimeNone;
+        std::uint64_t prev_id = 0;
+        bool first = true;
+        for (const ShownFrame &f : sys->stats().shown()) {
+            ++seen[f.frame_id];
+            if (!first) {
+                EXPECT_GT(f.present_time, prev_present);
+                EXPECT_GT(f.frame_id, prev_id);
+            }
+            prev_present = f.present_time;
+            prev_id = f.frame_id;
+            first = false;
+        }
+        for (std::size_t i = 0; i < seen.size(); ++i)
+            EXPECT_EQ(seen[i], 1) << to_string(mode) << " frame " << i;
+
+        // Presents never exceed the owed slots.
+        EXPECT_LE(std::int64_t(sys->stats().presents()),
+                  sys->stats().frames_due());
+    }
+}
+
+TEST_P(ArchitectureGrid, DvsyncNeverWorse)
+{
+    auto vs = run(RenderMode::kVsync);
+    auto dv = run(RenderMode::kDvsync);
+    EXPECT_LE(dv->stats().frame_drops(), vs->stats().frame_drops());
+    EXPECT_LE(dv->stats().latency().mean(),
+              vs->stats().latency().mean() + 1e3);
+}
+
+TEST_P(ArchitectureGrid, LatencyNeverBelowPipelineFloor)
+{
+    const Time period = period_from_hz(GetParam().refresh_hz);
+    for (RenderMode mode : {RenderMode::kVsync, RenderMode::kDvsync}) {
+        auto sys = run(mode);
+        // No frame can present before its slot + the 2-period pipeline.
+        EXPECT_GE(Time(sys->stats().latency().min()), 2 * period - 1000)
+            << to_string(mode);
+    }
+}
+
+TEST_P(ArchitectureGrid, DvsyncPromiseIntegrity)
+{
+    auto dv = run(RenderMode::kDvsync);
+    for (const ShownFrame &f : dv->stats().shown()) {
+        if (!f.pre_rendered)
+            continue;
+        // Promised display times sit on the period grid and are never
+        // displayed early.
+        EXPECT_GE(f.present_time, f.content_timestamp);
+        EXPECT_EQ((f.present_time - f.timeline_timestamp) %
+                      period_from_hz(GetParam().refresh_hz),
+                  0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ArchitectureGrid,
+    ::testing::Values(GridParam{60.0, 4, 3.0, 2.6},
+                      GridParam{60.0, 5, 3.0, 2.6},
+                      GridParam{60.0, 4, 8.0, 4.0},
+                      GridParam{90.0, 5, 5.0, 3.0},
+                      GridParam{120.0, 5, 6.0, 2.6},
+                      GridParam{120.0, 4, 12.0, 2.2},
+                      GridParam{120.0, 6, 20.0, 3.5},
+                      GridParam{144.0, 5, 6.0, 2.4}),
+    param_name);

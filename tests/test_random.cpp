@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit and property tests for the deterministic RNG and distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.h"
+
+using namespace dvs;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-5.0, 3.0);
+        EXPECT_GE(u, -5.0);
+        EXPECT_LT(u, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniform_int(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        saw_lo |= v == 2;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(17);
+    double sum = 0, sum2 = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(10.0, 2.0);
+        sum += x;
+        sum2 += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMeanMatches)
+{
+    // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2).
+    Rng rng(19);
+    const double mu = 1.0, sigma = 0.4;
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.lognormal(mu, sigma);
+    EXPECT_NEAR(sum / n, std::exp(mu + sigma * sigma / 2), 0.03);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds)
+{
+    Rng rng(23);
+    for (int i = 0; i < 20000; ++i) {
+        const double x = rng.bounded_pareto(1.5, 8.0, 40.0);
+        EXPECT_GE(x, 8.0);
+        EXPECT_LE(x, 40.0);
+    }
+}
+
+TEST(Rng, BoundedParetoIsHeavyTailedTowardLo)
+{
+    // Most mass sits near the lower bound for alpha > 1.
+    Rng rng(29);
+    int below_mid = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        below_mid += rng.bounded_pareto(1.5, 8.0, 40.0) < 24.0;
+    EXPECT_GT(double(below_mid) / n, 0.75);
+}
+
+TEST(Rng, SmallerAlphaMeansHeavierTail)
+{
+    Rng a(31), b(31);
+    double sum_light = 0, sum_heavy = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        sum_light += a.bounded_pareto(2.5, 8.0, 80.0);
+        sum_heavy += b.bounded_pareto(0.8, 8.0, 80.0);
+    }
+    EXPECT_GT(sum_heavy / n, sum_light / n);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(37);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentButDeterministic)
+{
+    Rng a(41);
+    Rng fork1 = a.fork();
+    Rng b(41);
+    Rng fork2 = b.fork();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(fork1.next_u64(), fork2.next_u64());
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the scenario script parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "workload/scenario_script.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+TEST(ScenarioScript, ParsesSegmentsAndMetadata)
+{
+    const ScenarioScript s = parse_scenario_script(R"(
+# demo
+device mate40pro
+seed 42
+animate 350ms heavy_rate=3 label=fling
+idle 150ms
+realtime 200ms
+)");
+    ASSERT_TRUE(s.ok) << s.error;
+    EXPECT_EQ(s.device.name, "Mate 40 Pro");
+    EXPECT_EQ(s.seed, 42u);
+    ASSERT_EQ(s.scenario.size(), 3u);
+    EXPECT_EQ(s.scenario.segments()[0].kind, SegmentKind::kAnimation);
+    EXPECT_EQ(s.scenario.segments()[0].duration, 350_ms);
+    EXPECT_EQ(s.scenario.segments()[0].label, "fling");
+    EXPECT_EQ(s.scenario.segments()[1].kind, SegmentKind::kIdle);
+    EXPECT_EQ(s.scenario.segments()[2].kind, SegmentKind::kRealtime);
+}
+
+TEST(ScenarioScript, RepeatExpandsBlocks)
+{
+    const ScenarioScript s = parse_scenario_script(R"(
+repeat 3
+  animate 100ms
+  idle 50ms
+end
+animate 200ms
+)");
+    ASSERT_TRUE(s.ok) << s.error;
+    EXPECT_EQ(s.scenario.size(), 7u);
+    EXPECT_EQ(s.scenario.total_duration(), 3 * 150_ms + 200_ms);
+}
+
+TEST(ScenarioScript, InteractGestures)
+{
+    const ScenarioScript s = parse_scenario_script(R"(
+interact swipe 300ms from=1800 travel=1200 label=scroll
+interact pinch 400ms from=200 travel=300 noise=1.0
+interact drag 200ms from=1000 travel=500
+)");
+    ASSERT_TRUE(s.ok) << s.error;
+    ASSERT_EQ(s.scenario.size(), 3u);
+    for (const Segment &seg : s.scenario.segments()) {
+        EXPECT_EQ(seg.kind, SegmentKind::kInteraction);
+        ASSERT_NE(seg.touch, nullptr);
+        EXPECT_FALSE(seg.touch->empty());
+    }
+    EXPECT_EQ(s.scenario.segments()[0].label, "scroll");
+    EXPECT_EQ(s.scenario.segments()[1].label, "pinch");
+    // Pinch distance spans from..from+travel.
+    const TouchStream &pinch = *s.scenario.segments()[1].touch;
+    EXPECT_NEAR(pinch.events().front().pinch_distance, 200.0, 5.0);
+}
+
+TEST(ScenarioScript, DurationUnits)
+{
+    const ScenarioScript s = parse_scenario_script(
+        "animate 1.5s\nidle 2500us\nanimate 100ms\n");
+    ASSERT_TRUE(s.ok) << s.error;
+    EXPECT_EQ(s.scenario.segments()[0].duration, 1500_ms);
+    EXPECT_EQ(s.scenario.segments()[1].duration, 2500_us);
+}
+
+TEST(ScenarioScript, CostKnobsApplied)
+{
+    const ScenarioScript s = parse_scenario_script(
+        "animate 500ms mean=0.9 sigma=0.01 heavy_rate=0 seed=5\n");
+    ASSERT_TRUE(s.ok) << s.error;
+    // mean=0.9 of a 60 Hz period = 15 ms; sample a few slots.
+    const auto &cost = *s.scenario.segments()[0].cost;
+    for (int i = 0; i < 10; ++i)
+        EXPECT_NEAR(to_ms(cost.cost_for(i).total()), 15.0, 2.0);
+}
+
+TEST(ScenarioScript, ErrorsCarryLineNumbers)
+{
+    const ScenarioScript bad1 =
+        parse_scenario_script("animate 100ms\nfrobnicate 3\n");
+    EXPECT_FALSE(bad1.ok);
+    EXPECT_EQ(bad1.error_line, 2);
+    EXPECT_NE(bad1.error.find("frobnicate"), std::string::npos);
+
+    EXPECT_FALSE(parse_scenario_script("animate\n").ok);
+    EXPECT_FALSE(parse_scenario_script("idle -5ms\n").ok);
+    EXPECT_FALSE(parse_scenario_script("device quest3\n").ok);
+    EXPECT_FALSE(parse_scenario_script("repeat 2\nanimate 1ms\n").ok);
+    EXPECT_FALSE(parse_scenario_script("end\n").ok);
+    EXPECT_FALSE(parse_scenario_script("interact wiggle 100ms\n").ok);
+    EXPECT_FALSE(parse_scenario_script("# only comments\n").ok);
+}
+
+TEST(ScenarioScript, LoadFromFile)
+{
+    const std::string path = ::testing::TempDir() + "/dvs_script.txt";
+    {
+        std::ofstream out(path);
+        out << "animate 100ms\n";
+    }
+    const ScenarioScript s = load_scenario_script(path);
+    EXPECT_TRUE(s.ok) << s.error;
+    EXPECT_EQ(s.scenario.size(), 1u);
+    std::remove(path.c_str());
+
+    EXPECT_FALSE(load_scenario_script("/nonexistent/file.txt").ok);
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the ASCII timeline renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/render_system.h"
+#include "metrics/timeline.h"
+#include "workload/frame_cost.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+namespace {
+
+std::unique_ptr<RenderSystem>
+run_simple(RenderMode mode)
+{
+    auto cost = std::make_shared<PeriodicSpikeCostModel>(
+        FrameCost{1_ms, 5_ms}, FrameCost{2_ms, 40_ms}, 20, 10);
+    Scenario sc("t");
+    sc.animate(400_ms, cost);
+    SystemConfig cfg;
+    cfg.mode = mode;
+    auto sys = std::make_unique<RenderSystem>(cfg, sc);
+    sys->run();
+    return sys;
+}
+
+std::size_t
+count_lines(const std::string &s)
+{
+    std::size_t n = 0;
+    for (char c : s)
+        n += c == '\n';
+    return n;
+}
+
+/** Extract the display lane (excludes the legend, which mentions 'X'). */
+std::string
+display_lane(const std::string &out)
+{
+    const auto pos = out.find("display");
+    const auto end = out.find('\n', pos);
+    return out.substr(pos, end - pos);
+}
+
+} // namespace
+
+TEST(Timeline, HasAllLanes)
+{
+    auto sys_ptr = run_simple(RenderMode::kVsync);
+    RenderSystem &sys = *sys_ptr;
+    TimelineOptions opt;
+    const std::string out = render_timeline(
+        sys.producer().records(), sys.stats().refreshes(), opt);
+    EXPECT_NE(out.find("vsync"), std::string::npos);
+    EXPECT_NE(out.find("ui"), std::string::npos);
+    EXPECT_NE(out.find("render"), std::string::npos);
+    EXPECT_NE(out.find("queue"), std::string::npos);
+    EXPECT_NE(out.find("display"), std::string::npos);
+    EXPECT_EQ(count_lines(out), 6u);
+}
+
+TEST(Timeline, VsyncDropShowsAsX)
+{
+    auto sys_ptr = run_simple(RenderMode::kVsync);
+    RenderSystem &sys = *sys_ptr;
+    ASSERT_GT(sys.stats().frame_drops(), 0u);
+    TimelineOptions opt;
+    const std::string out = render_timeline(
+        sys.producer().records(), sys.stats().refreshes(), opt);
+    EXPECT_NE(display_lane(out).find('X'), std::string::npos);
+}
+
+TEST(Timeline, DvsyncAbsorbsAndShowsNoX)
+{
+    auto sys_ptr = run_simple(RenderMode::kDvsync);
+    RenderSystem &sys = *sys_ptr;
+    ASSERT_EQ(sys.stats().frame_drops(), 0u);
+    TimelineOptions opt;
+    const std::string out = render_timeline(
+        sys.producer().records(), sys.stats().refreshes(), opt);
+    // The display lane never misses.
+    EXPECT_EQ(display_lane(out).find('X'), std::string::npos);
+    // Frame digits appear in every lane.
+    EXPECT_NE(out.find('0'), std::string::npos);
+}
+
+TEST(Timeline, RespectsMaxWidth)
+{
+    auto sys_ptr = run_simple(RenderMode::kVsync);
+    RenderSystem &sys = *sys_ptr;
+    TimelineOptions opt;
+    opt.max_width = 40;
+    const std::string out = render_timeline(
+        sys.producer().records(), sys.stats().refreshes(), opt);
+    EXPECT_LE(display_lane(out).size(), 40u + 9u); // label + columns
+}
+
+TEST(Timeline, Windowing)
+{
+    auto sys_ptr = run_simple(RenderMode::kVsync);
+    RenderSystem &sys = *sys_ptr;
+    TimelineOptions opt;
+    opt.start = 100_ms;
+    opt.duration = 100_ms;
+    const std::string out = render_timeline(
+        sys.producer().records(), sys.stats().refreshes(), opt);
+    EXPECT_EQ(count_lines(out), 6u);
+}
+
+TEST(Timeline, EmptyRunRenders)
+{
+    std::vector<FrameRecord> records;
+    std::vector<RefreshLog> refreshes;
+    TimelineOptions opt;
+    opt.duration = 100_ms;
+    const std::string out = render_timeline(records, refreshes, opt);
+    EXPECT_EQ(count_lines(out), 6u);
+    EXPECT_EQ(display_lane(out).find('X'), std::string::npos);
+}

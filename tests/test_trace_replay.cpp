@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Record-and-replay round trip: the paper's game methodology (§6.1) —
+ * capture per-frame costs from a live run, replay them trace-driven, and
+ * obtain the same scheduling outcome.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/render_system.h"
+#include "workload/app_profiles.h"
+#include "workload/trace.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+namespace {
+
+/** A spiky single-segment workload where every slot gets produced. */
+std::shared_ptr<const FrameCostModel>
+live_model()
+{
+    ProfileSpec spec;
+    spec.name = "live";
+    spec.heavy_per_sec = 4.0;
+    spec.heavy_min_periods = 1.2;
+    spec.heavy_max_periods = 2.4; // render-heavy but UI never overruns
+    spec.ui_fraction = 0.1;
+    return make_cost_model(spec, 60.0, 77);
+}
+
+std::uint64_t
+run_drops(std::shared_ptr<const FrameCostModel> cost, RenderMode mode)
+{
+    Scenario sc("t");
+    sc.animate(2_s, std::move(cost));
+    SystemConfig cfg;
+    cfg.mode = mode;
+    RenderSystem sys(cfg, sc);
+    sys.run();
+    return sys.stats().frame_drops();
+}
+
+/** Capture the per-slot costs of a finished run as a trace. */
+FrameTrace
+record(RenderMode mode)
+{
+    Scenario sc("t");
+    sc.animate(2_s, live_model());
+    SystemConfig cfg;
+    cfg.mode = mode;
+    RenderSystem sys(cfg, sc);
+    sys.run();
+
+    FrameTrace trace;
+    trace.name = "recorded";
+    trace.rate_hz = 60.0;
+    for (const FrameRecord &rec : sys.producer().records())
+        trace.frames.push_back(rec.cost);
+    return trace;
+}
+
+} // namespace
+
+TEST(TraceReplay, ReplayReproducesSchedulingOutcome)
+{
+    // VSync with a UI that never overruns produces every slot, so the
+    // recorded costs map 1:1 onto slots at replay.
+    const FrameTrace trace = record(RenderMode::kVsync);
+    ASSERT_GT(trace.size(), 100u);
+
+    const std::uint64_t live = run_drops(live_model(), RenderMode::kVsync);
+    const std::uint64_t replayed = run_drops(
+        std::make_shared<TraceCostModel>(trace), RenderMode::kVsync);
+    EXPECT_EQ(live, replayed);
+    EXPECT_GT(live, 0u);
+}
+
+TEST(TraceReplay, CsvRoundTripPreservesOutcome)
+{
+    const FrameTrace trace = record(RenderMode::kVsync);
+    const FrameTrace back = FrameTrace::from_csv(trace.to_csv());
+    ASSERT_EQ(back.size(), trace.size());
+
+    const std::uint64_t a = run_drops(
+        std::make_shared<TraceCostModel>(trace), RenderMode::kVsync);
+    const std::uint64_t b = run_drops(
+        std::make_shared<TraceCostModel>(back), RenderMode::kVsync);
+    EXPECT_EQ(a, b);
+}
+
+TEST(TraceReplay, DvsyncOnRecordedTraceStillWins)
+{
+    // The Fig. 14 pattern: a trace recorded under VSync, replayed under
+    // the decoupled architecture.
+    const FrameTrace trace = record(RenderMode::kVsync);
+    auto model = std::make_shared<TraceCostModel>(trace);
+    const std::uint64_t vsync = run_drops(model, RenderMode::kVsync);
+    const std::uint64_t dvsync = run_drops(model, RenderMode::kDvsync);
+    EXPECT_GT(vsync, 0u);
+    EXPECT_LT(dvsync, vsync / 2);
+}

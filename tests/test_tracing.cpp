@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the Chrome-trace logger and the RenderSystem trace export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/render_system.h"
+#include "sim/tracing.h"
+#include "workload/frame_cost.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+TEST(TraceLog, StartsEmpty)
+{
+    TraceLog log;
+    EXPECT_TRUE(log.empty());
+    EXPECT_EQ(log.size(), 0u);
+    // Even an empty log serializes to a valid JSON array.
+    EXPECT_EQ(log.to_json().substr(0, 1), "[");
+}
+
+TEST(TraceLog, DurationEventsSerialized)
+{
+    TraceLog log;
+    log.duration("ui thread", "frame 0", 1_ms, 3_ms);
+    const std::string json = log.to_json();
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"frame 0\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":1000.000"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":2000.000"), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    EXPECT_NE(json.find("ui thread"), std::string::npos);
+}
+
+TEST(TraceLog, InstantAndCounterEvents)
+{
+    TraceLog log;
+    log.instant("display", "FRAME DROP", 5_ms);
+    log.counter("queued buffers", 5_ms, 3.0);
+    const std::string json = log.to_json();
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("FRAME DROP"), std::string::npos);
+    EXPECT_NE(json.find("\"value\":3"), std::string::npos);
+}
+
+TEST(TraceLog, EscapesSpecialCharacters)
+{
+    TraceLog log;
+    log.instant("t", "a\"b\\c", 0);
+    const std::string json = log.to_json();
+    EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+}
+
+TEST(TraceLog, SaveWritesFile)
+{
+    TraceLog log;
+    log.duration("t", "work", 0, 1_ms);
+    const std::string path = ::testing::TempDir() + "/dvs_trace.json";
+    ASSERT_TRUE(log.save(path));
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("\"ph\":\"X\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceLog, ClearResets)
+{
+    TraceLog log;
+    log.instant("t", "e", 0);
+    EXPECT_EQ(log.size(), 1u);
+    log.clear();
+    EXPECT_TRUE(log.empty());
+}
+
+TEST(TraceExport, RunExportsAllLanes)
+{
+    auto cost = std::make_shared<PeriodicSpikeCostModel>(
+        FrameCost{1_ms, 5_ms}, FrameCost{2_ms, 40_ms}, 20, 10);
+    Scenario sc("t");
+    sc.animate(400_ms, cost);
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kVsync;
+    RenderSystem sys(cfg, sc);
+    sys.run();
+
+    TraceLog log;
+    sys.export_trace(log);
+    EXPECT_GT(log.size(), 40u); // frames x lanes + refreshes
+
+    const std::string json = log.to_json();
+    EXPECT_NE(json.find("ui thread"), std::string::npos);
+    EXPECT_NE(json.find("render thread"), std::string::npos);
+    EXPECT_NE(json.find("buffer queue"), std::string::npos);
+    EXPECT_NE(json.find("FRAME DROP"), std::string::npos);
+    EXPECT_NE(json.find("queued buffers"), std::string::npos);
+}
+
+TEST(TraceExport, PreRenderedFramesLabelled)
+{
+    auto cost = std::make_shared<ConstantCostModel>(1_ms, 4_ms);
+    Scenario sc("t");
+    sc.animate(300_ms, cost);
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    RenderSystem sys(cfg, sc);
+    sys.run();
+
+    TraceLog log;
+    sys.export_trace(log);
+    EXPECT_NE(log.to_json().find("(pre)"), std::string::npos);
+}

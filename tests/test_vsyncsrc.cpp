@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for the software vsync layer: timeline model, distributor,
+ * and choreographer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "display/hw_vsync.h"
+#include "sim/simulator.h"
+#include "vsyncsrc/choreographer.h"
+#include "vsyncsrc/vsync_distributor.h"
+#include "vsyncsrc/vsync_model.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+// ----- VsyncModel -----------------------------------------------------------
+
+TEST(VsyncModel, LearnsPeriodFromSamples)
+{
+    VsyncModel m(10_ms);
+    for (int i = 0; i < 10; ++i)
+        m.add_sample(Time(i) * 11_ms); // actual period 11 ms
+    EXPECT_EQ(m.period(), 11_ms);
+    EXPECT_EQ(m.last_edge(), 99_ms);
+}
+
+TEST(VsyncModel, PredictNextFollowsGrid)
+{
+    VsyncModel m(10_ms);
+    for (int i = 0; i <= 5; ++i)
+        m.add_sample(Time(i) * 10_ms);
+    EXPECT_EQ(m.predict_next(50_ms), 60_ms); // strictly after
+    EXPECT_EQ(m.predict_next(54_ms), 60_ms);
+    EXPECT_EQ(m.predict_next(75_ms), 80_ms);
+}
+
+TEST(VsyncModel, PredictWithoutSamplesUsesNominalGrid)
+{
+    VsyncModel m(10_ms);
+    EXPECT_EQ(m.predict_next(0), 10_ms);
+    EXPECT_EQ(m.predict_next(25_ms), 30_ms);
+}
+
+TEST(VsyncModel, JitteredSamplesAverageOut)
+{
+    VsyncModel m(10_ms, 8);
+    const Time jitter[] = {100_us, 0, 0 - 100_us, 50_us, 0 - 50_us,
+                           80_us,  0, 0 - 80_us};
+    for (int i = 0; i < 8; ++i)
+        m.add_sample(Time(i) * 10_ms + jitter[i % 8]);
+    EXPECT_NEAR(double(m.period()), double(10_ms), double(60_us));
+}
+
+TEST(VsyncModel, RateChangeResetsWindow)
+{
+    VsyncModel m(10_ms);
+    for (int i = 0; i < 5; ++i)
+        m.add_sample(Time(i) * 10_ms);
+    // Jump to a 20 ms cadence: the first big delta clears the window.
+    m.add_sample(60_ms);
+    m.add_sample(80_ms);
+    m.add_sample(100_ms);
+    EXPECT_EQ(m.period(), 20_ms);
+}
+
+TEST(VsyncModel, PredictionErrorMeasuredAgainstGrid)
+{
+    VsyncModel m(10_ms);
+    m.add_sample(0);
+    m.add_sample(10_ms);
+    EXPECT_EQ(m.prediction_error(20_ms), 0);
+    EXPECT_EQ(m.prediction_error(20_ms + 200_us), 200_us);
+    EXPECT_EQ(m.prediction_error(20_ms - 200_us), -Time(200_us));
+}
+
+TEST(VsyncModel, ResetRestoresNominal)
+{
+    VsyncModel m(10_ms);
+    for (int i = 0; i < 6; ++i)
+        m.add_sample(Time(i) * 12_ms);
+    m.reset();
+    EXPECT_EQ(m.period(), 10_ms);
+    EXPECT_EQ(m.last_edge(), kTimeNone);
+    EXPECT_EQ(m.samples(), 0u);
+}
+
+// ----- VsyncDistributor ------------------------------------------------------
+
+class DistributorTest : public ::testing::Test
+{
+  protected:
+    DistributorTest() : hw(sim, 100.0), dist(sim, hw) {}
+
+    Simulator sim;
+    HwVsyncGenerator hw;
+    VsyncDistributor dist;
+};
+
+TEST_F(DistributorTest, CallbacksAreOneShot)
+{
+    int calls = 0;
+    dist.request_callback(VsyncChannel::kApp,
+                          [&](const SwVsync &) { ++calls; });
+    hw.start();
+    sim.run_until(50_ms);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST_F(DistributorTest, CallbackCarriesEdgeTimestamp)
+{
+    SwVsync seen{};
+    sim.events().schedule(5_ms, [&] {
+        dist.request_callback(VsyncChannel::kApp,
+                              [&](const SwVsync &sw) { seen = sw; });
+    });
+    hw.start();
+    sim.run_until(30_ms);
+    EXPECT_EQ(seen.timestamp, 10_ms);
+    EXPECT_EQ(seen.delivery_time, 10_ms);
+    EXPECT_DOUBLE_EQ(seen.rate_hz, 100.0);
+}
+
+TEST_F(DistributorTest, OffsetsDelayDelivery)
+{
+    dist.set_offset(VsyncChannel::kRs, 2_ms);
+    Time delivered = kTimeNone;
+    Time stamp = kTimeNone;
+    sim.events().schedule(5_ms, [&] {
+        dist.request_callback(VsyncChannel::kRs, [&](const SwVsync &sw) {
+            delivered = sim.now();
+            stamp = sw.timestamp;
+        });
+    });
+    hw.start();
+    sim.run_until(30_ms);
+    EXPECT_EQ(delivered, 12_ms);
+    EXPECT_EQ(stamp, 10_ms); // timestamp is the edge, not the delivery
+}
+
+TEST_F(DistributorTest, RequestDuringDeliveryWaitsForNextEdge)
+{
+    std::vector<Time> deliveries;
+    std::function<void(const SwVsync &)> cb = [&](const SwVsync &sw) {
+        deliveries.push_back(sw.timestamp);
+        if (deliveries.size() < 3)
+            dist.request_callback(VsyncChannel::kApp, cb);
+    };
+    dist.request_callback(VsyncChannel::kApp, cb);
+    hw.start();
+    sim.run_until(50_ms);
+    EXPECT_EQ(deliveries, (std::vector<Time>{0, 10_ms, 20_ms}));
+}
+
+TEST_F(DistributorTest, ChannelsAreIndependent)
+{
+    int app = 0, rs = 0, sf = 0;
+    dist.request_callback(VsyncChannel::kApp, [&](const SwVsync &) { ++app; });
+    dist.request_callback(VsyncChannel::kRs, [&](const SwVsync &) { ++rs; });
+    dist.request_callback(VsyncChannel::kSf, [&](const SwVsync &) { ++sf; });
+    EXPECT_EQ(dist.pending(VsyncChannel::kApp), 1u);
+    hw.start();
+    sim.run_until(15_ms);
+    EXPECT_EQ(app, 1);
+    EXPECT_EQ(rs, 1);
+    EXPECT_EQ(sf, 1);
+    EXPECT_EQ(dist.pending(VsyncChannel::kApp), 0u);
+}
+
+TEST_F(DistributorTest, ModelTracksHardware)
+{
+    hw.start();
+    sim.run_until(100_ms);
+    EXPECT_EQ(dist.model().period(), 10_ms);
+    EXPECT_EQ(dist.model().last_edge(), 100_ms);
+}
+
+// ----- Choreographer ----------------------------------------------------------
+
+TEST_F(DistributorTest, ChoreographerCoalescesPosts)
+{
+    Choreographer ch(dist, VsyncChannel::kApp);
+    int calls = 0;
+    ch.set_callback([&](const SwVsync &) { ++calls; });
+    ch.post_frame_callback();
+    ch.post_frame_callback();
+    ch.post_frame_callback();
+    EXPECT_TRUE(ch.armed());
+    hw.start();
+    sim.run_until(25_ms);
+    EXPECT_EQ(calls, 1);
+    EXPECT_FALSE(ch.armed());
+    EXPECT_EQ(ch.callbacks_delivered(), 1u);
+}
+
+TEST_F(DistributorTest, ChoreographerRepostInsideCallback)
+{
+    Choreographer ch(dist, VsyncChannel::kApp);
+    std::vector<Time> frames;
+    ch.set_callback([&](const SwVsync &sw) {
+        frames.push_back(sw.timestamp);
+        if (frames.size() < 3)
+            ch.post_frame_callback();
+    });
+    ch.post_frame_callback();
+    hw.start();
+    sim.run_until(60_ms);
+    EXPECT_EQ(frames, (std::vector<Time>{0, 10_ms, 20_ms}));
+}
