@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_animation_correctness.dir/ablation_animation_correctness.cpp.o"
+  "CMakeFiles/ablation_animation_correctness.dir/ablation_animation_correctness.cpp.o.d"
+  "ablation_animation_correctness"
+  "ablation_animation_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_animation_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dtv_calibration.dir/ablation_dtv_calibration.cpp.o"
+  "CMakeFiles/ablation_dtv_calibration.dir/ablation_dtv_calibration.cpp.o.d"
+  "ablation_dtv_calibration"
+  "ablation_dtv_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dtv_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ipl_predictors.dir/ablation_ipl_predictors.cpp.o"
+  "CMakeFiles/ablation_ipl_predictors.dir/ablation_ipl_predictors.cpp.o.d"
+  "ablation_ipl_predictors"
+  "ablation_ipl_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ipl_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

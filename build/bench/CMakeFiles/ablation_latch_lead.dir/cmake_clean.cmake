@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_latch_lead.dir/ablation_latch_lead.cpp.o"
+  "CMakeFiles/ablation_latch_lead.dir/ablation_latch_lead.cpp.o.d"
+  "ablation_latch_lead"
+  "ablation_latch_lead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_latch_lead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

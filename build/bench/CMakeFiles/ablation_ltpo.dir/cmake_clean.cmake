@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ltpo.dir/ablation_ltpo.cpp.o"
+  "CMakeFiles/ablation_ltpo.dir/ablation_ltpo.cpp.o.d"
+  "ablation_ltpo"
+  "ablation_ltpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ltpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pacing_vs_dvsync.dir/ablation_pacing_vs_dvsync.cpp.o"
+  "CMakeFiles/ablation_pacing_vs_dvsync.dir/ablation_pacing_vs_dvsync.cpp.o.d"
+  "ablation_pacing_vs_dvsync"
+  "ablation_pacing_vs_dvsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pacing_vs_dvsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

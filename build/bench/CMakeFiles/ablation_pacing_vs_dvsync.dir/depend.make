@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_pacing_vs_dvsync.
+# This may be replaced when dependencies are built.

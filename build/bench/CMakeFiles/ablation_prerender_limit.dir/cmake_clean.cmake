@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prerender_limit.dir/ablation_prerender_limit.cpp.o"
+  "CMakeFiles/ablation_prerender_limit.dir/ablation_prerender_limit.cpp.o.d"
+  "ablation_prerender_limit"
+  "ablation_prerender_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prerender_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_frame_time_cdf.dir/fig01_frame_time_cdf.cpp.o"
+  "CMakeFiles/fig01_frame_time_cdf.dir/fig01_frame_time_cdf.cpp.o.d"
+  "fig01_frame_time_cdf"
+  "fig01_frame_time_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_frame_time_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

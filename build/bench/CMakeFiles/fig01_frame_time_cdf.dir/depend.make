@@ -1,0 +1,2 @@
+# Empty dependencies file for fig01_frame_time_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_frame_drop_summary.dir/fig05_frame_drop_summary.cpp.o"
+  "CMakeFiles/fig05_frame_drop_summary.dir/fig05_frame_drop_summary.cpp.o.d"
+  "fig05_frame_drop_summary"
+  "fig05_frame_drop_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_frame_drop_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

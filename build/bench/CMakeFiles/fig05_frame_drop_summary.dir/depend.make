@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_frame_drop_summary.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_frame_distribution.dir/fig06_frame_distribution.cpp.o"
+  "CMakeFiles/fig06_frame_distribution.dir/fig06_frame_distribution.cpp.o.d"
+  "fig06_frame_distribution"
+  "fig06_frame_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_frame_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

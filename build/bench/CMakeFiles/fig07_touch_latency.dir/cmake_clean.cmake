@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_touch_latency.dir/fig07_touch_latency.cpp.o"
+  "CMakeFiles/fig07_touch_latency.dir/fig07_touch_latency.cpp.o.d"
+  "fig07_touch_latency"
+  "fig07_touch_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_touch_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

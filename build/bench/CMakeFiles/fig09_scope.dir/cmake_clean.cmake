@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_scope.dir/fig09_scope.cpp.o"
+  "CMakeFiles/fig09_scope.dir/fig09_scope.cpp.o.d"
+  "fig09_scope"
+  "fig09_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

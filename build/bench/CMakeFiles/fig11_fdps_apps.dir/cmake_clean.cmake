@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_fdps_apps.dir/fig11_fdps_apps.cpp.o"
+  "CMakeFiles/fig11_fdps_apps.dir/fig11_fdps_apps.cpp.o.d"
+  "fig11_fdps_apps"
+  "fig11_fdps_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_fdps_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_fdps_os_cases_vulkan.dir/fig12_fdps_os_cases_vulkan.cpp.o"
+  "CMakeFiles/fig12_fdps_os_cases_vulkan.dir/fig12_fdps_os_cases_vulkan.cpp.o.d"
+  "fig12_fdps_os_cases_vulkan"
+  "fig12_fdps_os_cases_vulkan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_fdps_os_cases_vulkan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

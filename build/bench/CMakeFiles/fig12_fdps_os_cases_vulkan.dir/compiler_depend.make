@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_fdps_os_cases_vulkan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_fdps_os_cases_vulkan.
+# This may be replaced when dependencies are built.

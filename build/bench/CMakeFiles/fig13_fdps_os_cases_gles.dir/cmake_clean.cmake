@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_fdps_os_cases_gles.dir/fig13_fdps_os_cases_gles.cpp.o"
+  "CMakeFiles/fig13_fdps_os_cases_gles.dir/fig13_fdps_os_cases_gles.cpp.o.d"
+  "fig13_fdps_os_cases_gles"
+  "fig13_fdps_os_cases_gles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_fdps_os_cases_gles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

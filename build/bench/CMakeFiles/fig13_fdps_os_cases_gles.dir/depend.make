@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_fdps_os_cases_gles.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_games.dir/fig14_games.cpp.o"
+  "CMakeFiles/fig14_games.dir/fig14_games.cpp.o.d"
+  "fig14_games"
+  "fig14_games.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_games.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

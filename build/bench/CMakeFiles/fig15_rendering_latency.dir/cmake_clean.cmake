@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_rendering_latency.dir/fig15_rendering_latency.cpp.o"
+  "CMakeFiles/fig15_rendering_latency.dir/fig15_rendering_latency.cpp.o.d"
+  "fig15_rendering_latency"
+  "fig15_rendering_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_rendering_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

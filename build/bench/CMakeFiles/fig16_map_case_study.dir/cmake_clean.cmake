@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_map_case_study.dir/fig16_map_case_study.cpp.o"
+  "CMakeFiles/fig16_map_case_study.dir/fig16_map_case_study.cpp.o.d"
+  "fig16_map_case_study"
+  "fig16_map_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_map_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

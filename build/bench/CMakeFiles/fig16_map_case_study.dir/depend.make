@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_map_case_study.
+# This may be replaced when dependencies are built.

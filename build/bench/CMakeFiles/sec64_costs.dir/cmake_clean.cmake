@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec64_costs.dir/sec64_costs.cpp.o"
+  "CMakeFiles/sec64_costs.dir/sec64_costs.cpp.o.d"
+  "sec64_costs"
+  "sec64_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec64_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec64_costs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec66_chromium.dir/sec66_chromium.cpp.o"
+  "CMakeFiles/sec66_chromium.dir/sec66_chromium.cpp.o.d"
+  "sec66_chromium"
+  "sec66_chromium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec66_chromium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec67_power.dir/sec67_power.cpp.o"
+  "CMakeFiles/sec67_power.dir/sec67_power.cpp.o.d"
+  "sec67_power"
+  "sec67_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec67_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

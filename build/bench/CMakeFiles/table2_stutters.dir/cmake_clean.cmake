@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_stutters.dir/table2_stutters.cpp.o"
+  "CMakeFiles/table2_stutters.dir/table2_stutters.cpp.o.d"
+  "table2_stutters"
+  "table2_stutters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_stutters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

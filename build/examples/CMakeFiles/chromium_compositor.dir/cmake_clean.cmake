@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chromium_compositor.dir/chromium_compositor.cpp.o"
+  "CMakeFiles/chromium_compositor.dir/chromium_compositor.cpp.o.d"
+  "chromium_compositor"
+  "chromium_compositor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chromium_compositor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

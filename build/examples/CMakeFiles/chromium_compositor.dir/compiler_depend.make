@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for chromium_compositor.
+# This may be replaced when dependencies are built.

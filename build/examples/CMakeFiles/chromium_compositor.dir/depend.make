@@ -1,0 +1,2 @@
+# Empty dependencies file for chromium_compositor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_app.dir/dual_app.cpp.o"
+  "CMakeFiles/dual_app.dir/dual_app.cpp.o.d"
+  "dual_app"
+  "dual_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

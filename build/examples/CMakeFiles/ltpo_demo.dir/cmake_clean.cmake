@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltpo_demo.dir/ltpo_demo.cpp.o"
+  "CMakeFiles/ltpo_demo.dir/ltpo_demo.cpp.o.d"
+  "ltpo_demo"
+  "ltpo_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltpo_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

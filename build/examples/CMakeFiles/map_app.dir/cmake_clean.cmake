@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_app.dir/map_app.cpp.o"
+  "CMakeFiles/map_app.dir/map_app.cpp.o.d"
+  "map_app"
+  "map_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

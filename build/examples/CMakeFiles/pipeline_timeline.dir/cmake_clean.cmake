@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_timeline.dir/pipeline_timeline.cpp.o"
+  "CMakeFiles/pipeline_timeline.dir/pipeline_timeline.cpp.o.d"
+  "pipeline_timeline"
+  "pipeline_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

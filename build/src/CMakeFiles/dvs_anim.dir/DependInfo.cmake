@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anim/animation.cc" "src/CMakeFiles/dvs_anim.dir/anim/animation.cc.o" "gcc" "src/CMakeFiles/dvs_anim.dir/anim/animation.cc.o.d"
+  "/root/repo/src/anim/curves.cc" "src/CMakeFiles/dvs_anim.dir/anim/curves.cc.o" "gcc" "src/CMakeFiles/dvs_anim.dir/anim/curves.cc.o.d"
+  "/root/repo/src/anim/judder.cc" "src/CMakeFiles/dvs_anim.dir/anim/judder.cc.o" "gcc" "src/CMakeFiles/dvs_anim.dir/anim/judder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

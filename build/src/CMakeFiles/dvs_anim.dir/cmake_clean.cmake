@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_anim.dir/anim/animation.cc.o"
+  "CMakeFiles/dvs_anim.dir/anim/animation.cc.o.d"
+  "CMakeFiles/dvs_anim.dir/anim/curves.cc.o"
+  "CMakeFiles/dvs_anim.dir/anim/curves.cc.o.d"
+  "CMakeFiles/dvs_anim.dir/anim/judder.cc.o"
+  "CMakeFiles/dvs_anim.dir/anim/judder.cc.o.d"
+  "libdvs_anim.a"
+  "libdvs_anim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_anim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

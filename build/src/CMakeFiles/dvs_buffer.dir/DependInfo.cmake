@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buffer/buffer_queue.cc" "src/CMakeFiles/dvs_buffer.dir/buffer/buffer_queue.cc.o" "gcc" "src/CMakeFiles/dvs_buffer.dir/buffer/buffer_queue.cc.o.d"
+  "/root/repo/src/buffer/frame_buffer.cc" "src/CMakeFiles/dvs_buffer.dir/buffer/frame_buffer.cc.o" "gcc" "src/CMakeFiles/dvs_buffer.dir/buffer/frame_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_buffer.dir/buffer/buffer_queue.cc.o"
+  "CMakeFiles/dvs_buffer.dir/buffer/buffer_queue.cc.o.d"
+  "CMakeFiles/dvs_buffer.dir/buffer/frame_buffer.cc.o"
+  "CMakeFiles/dvs_buffer.dir/buffer/frame_buffer.cc.o.d"
+  "libdvs_buffer.a"
+  "libdvs_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dvs_buffer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/display_time_virtualizer.cc" "src/CMakeFiles/dvs_core.dir/core/display_time_virtualizer.cc.o" "gcc" "src/CMakeFiles/dvs_core.dir/core/display_time_virtualizer.cc.o.d"
+  "/root/repo/src/core/dvsync_config.cc" "src/CMakeFiles/dvs_core.dir/core/dvsync_config.cc.o" "gcc" "src/CMakeFiles/dvs_core.dir/core/dvsync_config.cc.o.d"
+  "/root/repo/src/core/dvsync_runtime.cc" "src/CMakeFiles/dvs_core.dir/core/dvsync_runtime.cc.o" "gcc" "src/CMakeFiles/dvs_core.dir/core/dvsync_runtime.cc.o.d"
+  "/root/repo/src/core/frame_pre_executor.cc" "src/CMakeFiles/dvs_core.dir/core/frame_pre_executor.cc.o" "gcc" "src/CMakeFiles/dvs_core.dir/core/frame_pre_executor.cc.o.d"
+  "/root/repo/src/core/input_prediction_layer.cc" "src/CMakeFiles/dvs_core.dir/core/input_prediction_layer.cc.o" "gcc" "src/CMakeFiles/dvs_core.dir/core/input_prediction_layer.cc.o.d"
+  "/root/repo/src/core/ltpo_codesign.cc" "src/CMakeFiles/dvs_core.dir/core/ltpo_codesign.cc.o" "gcc" "src/CMakeFiles/dvs_core.dir/core/ltpo_codesign.cc.o.d"
+  "/root/repo/src/core/predictors_extra.cc" "src/CMakeFiles/dvs_core.dir/core/predictors_extra.cc.o" "gcc" "src/CMakeFiles/dvs_core.dir/core/predictors_extra.cc.o.d"
+  "/root/repo/src/core/render_system.cc" "src/CMakeFiles/dvs_core.dir/core/render_system.cc.o" "gcc" "src/CMakeFiles/dvs_core.dir/core/render_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_vsyncsrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_anim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_input.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_core.dir/core/display_time_virtualizer.cc.o"
+  "CMakeFiles/dvs_core.dir/core/display_time_virtualizer.cc.o.d"
+  "CMakeFiles/dvs_core.dir/core/dvsync_config.cc.o"
+  "CMakeFiles/dvs_core.dir/core/dvsync_config.cc.o.d"
+  "CMakeFiles/dvs_core.dir/core/dvsync_runtime.cc.o"
+  "CMakeFiles/dvs_core.dir/core/dvsync_runtime.cc.o.d"
+  "CMakeFiles/dvs_core.dir/core/frame_pre_executor.cc.o"
+  "CMakeFiles/dvs_core.dir/core/frame_pre_executor.cc.o.d"
+  "CMakeFiles/dvs_core.dir/core/input_prediction_layer.cc.o"
+  "CMakeFiles/dvs_core.dir/core/input_prediction_layer.cc.o.d"
+  "CMakeFiles/dvs_core.dir/core/ltpo_codesign.cc.o"
+  "CMakeFiles/dvs_core.dir/core/ltpo_codesign.cc.o.d"
+  "CMakeFiles/dvs_core.dir/core/predictors_extra.cc.o"
+  "CMakeFiles/dvs_core.dir/core/predictors_extra.cc.o.d"
+  "CMakeFiles/dvs_core.dir/core/render_system.cc.o"
+  "CMakeFiles/dvs_core.dir/core/render_system.cc.o.d"
+  "libdvs_core.a"
+  "libdvs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

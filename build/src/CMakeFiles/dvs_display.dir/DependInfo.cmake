@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/display/device_config.cc" "src/CMakeFiles/dvs_display.dir/display/device_config.cc.o" "gcc" "src/CMakeFiles/dvs_display.dir/display/device_config.cc.o.d"
+  "/root/repo/src/display/display_timing.cc" "src/CMakeFiles/dvs_display.dir/display/display_timing.cc.o" "gcc" "src/CMakeFiles/dvs_display.dir/display/display_timing.cc.o.d"
+  "/root/repo/src/display/hw_vsync.cc" "src/CMakeFiles/dvs_display.dir/display/hw_vsync.cc.o" "gcc" "src/CMakeFiles/dvs_display.dir/display/hw_vsync.cc.o.d"
+  "/root/repo/src/display/ltpo.cc" "src/CMakeFiles/dvs_display.dir/display/ltpo.cc.o" "gcc" "src/CMakeFiles/dvs_display.dir/display/ltpo.cc.o.d"
+  "/root/repo/src/display/panel.cc" "src/CMakeFiles/dvs_display.dir/display/panel.cc.o" "gcc" "src/CMakeFiles/dvs_display.dir/display/panel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_buffer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

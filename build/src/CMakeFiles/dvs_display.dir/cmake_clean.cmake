@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_display.dir/display/device_config.cc.o"
+  "CMakeFiles/dvs_display.dir/display/device_config.cc.o.d"
+  "CMakeFiles/dvs_display.dir/display/display_timing.cc.o"
+  "CMakeFiles/dvs_display.dir/display/display_timing.cc.o.d"
+  "CMakeFiles/dvs_display.dir/display/hw_vsync.cc.o"
+  "CMakeFiles/dvs_display.dir/display/hw_vsync.cc.o.d"
+  "CMakeFiles/dvs_display.dir/display/ltpo.cc.o"
+  "CMakeFiles/dvs_display.dir/display/ltpo.cc.o.d"
+  "CMakeFiles/dvs_display.dir/display/panel.cc.o"
+  "CMakeFiles/dvs_display.dir/display/panel.cc.o.d"
+  "libdvs_display.a"
+  "libdvs_display.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_display.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_input.dir/input/gesture.cc.o"
+  "CMakeFiles/dvs_input.dir/input/gesture.cc.o.d"
+  "CMakeFiles/dvs_input.dir/input/touch_event.cc.o"
+  "CMakeFiles/dvs_input.dir/input/touch_event.cc.o.d"
+  "libdvs_input.a"
+  "libdvs_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

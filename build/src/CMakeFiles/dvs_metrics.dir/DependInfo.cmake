@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/frame_stats.cc" "src/CMakeFiles/dvs_metrics.dir/metrics/frame_stats.cc.o" "gcc" "src/CMakeFiles/dvs_metrics.dir/metrics/frame_stats.cc.o.d"
+  "/root/repo/src/metrics/histogram.cc" "src/CMakeFiles/dvs_metrics.dir/metrics/histogram.cc.o" "gcc" "src/CMakeFiles/dvs_metrics.dir/metrics/histogram.cc.o.d"
+  "/root/repo/src/metrics/latency.cc" "src/CMakeFiles/dvs_metrics.dir/metrics/latency.cc.o" "gcc" "src/CMakeFiles/dvs_metrics.dir/metrics/latency.cc.o.d"
+  "/root/repo/src/metrics/power_model.cc" "src/CMakeFiles/dvs_metrics.dir/metrics/power_model.cc.o" "gcc" "src/CMakeFiles/dvs_metrics.dir/metrics/power_model.cc.o.d"
+  "/root/repo/src/metrics/reporter.cc" "src/CMakeFiles/dvs_metrics.dir/metrics/reporter.cc.o" "gcc" "src/CMakeFiles/dvs_metrics.dir/metrics/reporter.cc.o.d"
+  "/root/repo/src/metrics/stutter_model.cc" "src/CMakeFiles/dvs_metrics.dir/metrics/stutter_model.cc.o" "gcc" "src/CMakeFiles/dvs_metrics.dir/metrics/stutter_model.cc.o.d"
+  "/root/repo/src/metrics/timeline.cc" "src/CMakeFiles/dvs_metrics.dir/metrics/timeline.cc.o" "gcc" "src/CMakeFiles/dvs_metrics.dir/metrics/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_vsyncsrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_anim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_input.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_metrics.dir/metrics/frame_stats.cc.o"
+  "CMakeFiles/dvs_metrics.dir/metrics/frame_stats.cc.o.d"
+  "CMakeFiles/dvs_metrics.dir/metrics/histogram.cc.o"
+  "CMakeFiles/dvs_metrics.dir/metrics/histogram.cc.o.d"
+  "CMakeFiles/dvs_metrics.dir/metrics/latency.cc.o"
+  "CMakeFiles/dvs_metrics.dir/metrics/latency.cc.o.d"
+  "CMakeFiles/dvs_metrics.dir/metrics/power_model.cc.o"
+  "CMakeFiles/dvs_metrics.dir/metrics/power_model.cc.o.d"
+  "CMakeFiles/dvs_metrics.dir/metrics/reporter.cc.o"
+  "CMakeFiles/dvs_metrics.dir/metrics/reporter.cc.o.d"
+  "CMakeFiles/dvs_metrics.dir/metrics/stutter_model.cc.o"
+  "CMakeFiles/dvs_metrics.dir/metrics/stutter_model.cc.o.d"
+  "CMakeFiles/dvs_metrics.dir/metrics/timeline.cc.o"
+  "CMakeFiles/dvs_metrics.dir/metrics/timeline.cc.o.d"
+  "libdvs_metrics.a"
+  "libdvs_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

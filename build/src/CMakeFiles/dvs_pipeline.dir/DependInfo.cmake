@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/compositor.cc" "src/CMakeFiles/dvs_pipeline.dir/pipeline/compositor.cc.o" "gcc" "src/CMakeFiles/dvs_pipeline.dir/pipeline/compositor.cc.o.d"
+  "/root/repo/src/pipeline/exec_resource.cc" "src/CMakeFiles/dvs_pipeline.dir/pipeline/exec_resource.cc.o" "gcc" "src/CMakeFiles/dvs_pipeline.dir/pipeline/exec_resource.cc.o.d"
+  "/root/repo/src/pipeline/frame.cc" "src/CMakeFiles/dvs_pipeline.dir/pipeline/frame.cc.o" "gcc" "src/CMakeFiles/dvs_pipeline.dir/pipeline/frame.cc.o.d"
+  "/root/repo/src/pipeline/producer.cc" "src/CMakeFiles/dvs_pipeline.dir/pipeline/producer.cc.o" "gcc" "src/CMakeFiles/dvs_pipeline.dir/pipeline/producer.cc.o.d"
+  "/root/repo/src/pipeline/swap_interval_pacer.cc" "src/CMakeFiles/dvs_pipeline.dir/pipeline/swap_interval_pacer.cc.o" "gcc" "src/CMakeFiles/dvs_pipeline.dir/pipeline/swap_interval_pacer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_vsyncsrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_anim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_input.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_pipeline.dir/pipeline/compositor.cc.o"
+  "CMakeFiles/dvs_pipeline.dir/pipeline/compositor.cc.o.d"
+  "CMakeFiles/dvs_pipeline.dir/pipeline/exec_resource.cc.o"
+  "CMakeFiles/dvs_pipeline.dir/pipeline/exec_resource.cc.o.d"
+  "CMakeFiles/dvs_pipeline.dir/pipeline/frame.cc.o"
+  "CMakeFiles/dvs_pipeline.dir/pipeline/frame.cc.o.d"
+  "CMakeFiles/dvs_pipeline.dir/pipeline/producer.cc.o"
+  "CMakeFiles/dvs_pipeline.dir/pipeline/producer.cc.o.d"
+  "CMakeFiles/dvs_pipeline.dir/pipeline/swap_interval_pacer.cc.o"
+  "CMakeFiles/dvs_pipeline.dir/pipeline/swap_interval_pacer.cc.o.d"
+  "libdvs_pipeline.a"
+  "libdvs_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/dvs_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/dvs_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/dvs_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/dvs_sim.dir/sim/random.cc.o"
+  "CMakeFiles/dvs_sim.dir/sim/random.cc.o.d"
+  "CMakeFiles/dvs_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/dvs_sim.dir/sim/simulator.cc.o.d"
+  "CMakeFiles/dvs_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/dvs_sim.dir/sim/stats.cc.o.d"
+  "CMakeFiles/dvs_sim.dir/sim/tracing.cc.o"
+  "CMakeFiles/dvs_sim.dir/sim/tracing.cc.o.d"
+  "libdvs_sim.a"
+  "libdvs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

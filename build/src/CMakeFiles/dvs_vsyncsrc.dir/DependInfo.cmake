@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vsyncsrc/choreographer.cc" "src/CMakeFiles/dvs_vsyncsrc.dir/vsyncsrc/choreographer.cc.o" "gcc" "src/CMakeFiles/dvs_vsyncsrc.dir/vsyncsrc/choreographer.cc.o.d"
+  "/root/repo/src/vsyncsrc/vsync_distributor.cc" "src/CMakeFiles/dvs_vsyncsrc.dir/vsyncsrc/vsync_distributor.cc.o" "gcc" "src/CMakeFiles/dvs_vsyncsrc.dir/vsyncsrc/vsync_distributor.cc.o.d"
+  "/root/repo/src/vsyncsrc/vsync_model.cc" "src/CMakeFiles/dvs_vsyncsrc.dir/vsyncsrc/vsync_model.cc.o" "gcc" "src/CMakeFiles/dvs_vsyncsrc.dir/vsyncsrc/vsync_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_buffer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

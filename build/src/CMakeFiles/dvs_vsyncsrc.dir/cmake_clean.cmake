@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_vsyncsrc.dir/vsyncsrc/choreographer.cc.o"
+  "CMakeFiles/dvs_vsyncsrc.dir/vsyncsrc/choreographer.cc.o.d"
+  "CMakeFiles/dvs_vsyncsrc.dir/vsyncsrc/vsync_distributor.cc.o"
+  "CMakeFiles/dvs_vsyncsrc.dir/vsyncsrc/vsync_distributor.cc.o.d"
+  "CMakeFiles/dvs_vsyncsrc.dir/vsyncsrc/vsync_model.cc.o"
+  "CMakeFiles/dvs_vsyncsrc.dir/vsyncsrc/vsync_model.cc.o.d"
+  "libdvs_vsyncsrc.a"
+  "libdvs_vsyncsrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_vsyncsrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

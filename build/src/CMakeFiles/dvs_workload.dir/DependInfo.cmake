@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_profiles.cc" "src/CMakeFiles/dvs_workload.dir/workload/app_profiles.cc.o" "gcc" "src/CMakeFiles/dvs_workload.dir/workload/app_profiles.cc.o.d"
+  "/root/repo/src/workload/distributions.cc" "src/CMakeFiles/dvs_workload.dir/workload/distributions.cc.o" "gcc" "src/CMakeFiles/dvs_workload.dir/workload/distributions.cc.o.d"
+  "/root/repo/src/workload/frame_cost.cc" "src/CMakeFiles/dvs_workload.dir/workload/frame_cost.cc.o" "gcc" "src/CMakeFiles/dvs_workload.dir/workload/frame_cost.cc.o.d"
+  "/root/repo/src/workload/game_traces.cc" "src/CMakeFiles/dvs_workload.dir/workload/game_traces.cc.o" "gcc" "src/CMakeFiles/dvs_workload.dir/workload/game_traces.cc.o.d"
+  "/root/repo/src/workload/os_case_profiles.cc" "src/CMakeFiles/dvs_workload.dir/workload/os_case_profiles.cc.o" "gcc" "src/CMakeFiles/dvs_workload.dir/workload/os_case_profiles.cc.o.d"
+  "/root/repo/src/workload/scenario.cc" "src/CMakeFiles/dvs_workload.dir/workload/scenario.cc.o" "gcc" "src/CMakeFiles/dvs_workload.dir/workload/scenario.cc.o.d"
+  "/root/repo/src/workload/scenario_script.cc" "src/CMakeFiles/dvs_workload.dir/workload/scenario_script.cc.o" "gcc" "src/CMakeFiles/dvs_workload.dir/workload/scenario_script.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/dvs_workload.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/dvs_workload.dir/workload/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_input.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_buffer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_workload.dir/workload/app_profiles.cc.o"
+  "CMakeFiles/dvs_workload.dir/workload/app_profiles.cc.o.d"
+  "CMakeFiles/dvs_workload.dir/workload/distributions.cc.o"
+  "CMakeFiles/dvs_workload.dir/workload/distributions.cc.o.d"
+  "CMakeFiles/dvs_workload.dir/workload/frame_cost.cc.o"
+  "CMakeFiles/dvs_workload.dir/workload/frame_cost.cc.o.d"
+  "CMakeFiles/dvs_workload.dir/workload/game_traces.cc.o"
+  "CMakeFiles/dvs_workload.dir/workload/game_traces.cc.o.d"
+  "CMakeFiles/dvs_workload.dir/workload/os_case_profiles.cc.o"
+  "CMakeFiles/dvs_workload.dir/workload/os_case_profiles.cc.o.d"
+  "CMakeFiles/dvs_workload.dir/workload/scenario.cc.o"
+  "CMakeFiles/dvs_workload.dir/workload/scenario.cc.o.d"
+  "CMakeFiles/dvs_workload.dir/workload/scenario_script.cc.o"
+  "CMakeFiles/dvs_workload.dir/workload/scenario_script.cc.o.d"
+  "CMakeFiles/dvs_workload.dir/workload/trace.cc.o"
+  "CMakeFiles/dvs_workload.dir/workload/trace.cc.o.d"
+  "libdvs_workload.a"
+  "libdvs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anim.dir/test_anim.cpp.o"
+  "CMakeFiles/test_anim.dir/test_anim.cpp.o.d"
+  "test_anim"
+  "test_anim.pdb"
+  "test_anim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_api_surface.dir/test_api_surface.cpp.o"
+  "CMakeFiles/test_api_surface.dir/test_api_surface.cpp.o.d"
+  "test_api_surface"
+  "test_api_surface.pdb"
+  "test_api_surface[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_api_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

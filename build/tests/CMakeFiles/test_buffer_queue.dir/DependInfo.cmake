@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_buffer_queue.cpp" "tests/CMakeFiles/test_buffer_queue.dir/test_buffer_queue.cpp.o" "gcc" "tests/CMakeFiles/test_buffer_queue.dir/test_buffer_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_vsyncsrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_anim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_input.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

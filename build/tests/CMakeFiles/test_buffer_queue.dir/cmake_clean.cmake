@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffer_queue.dir/test_buffer_queue.cpp.o"
+  "CMakeFiles/test_buffer_queue.dir/test_buffer_queue.cpp.o.d"
+  "test_buffer_queue"
+  "test_buffer_queue.pdb"
+  "test_buffer_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffer_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

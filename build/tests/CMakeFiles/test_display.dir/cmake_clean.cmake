@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_display.dir/test_display.cpp.o"
+  "CMakeFiles/test_display.dir/test_display.cpp.o.d"
+  "test_display"
+  "test_display.pdb"
+  "test_display[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_display.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

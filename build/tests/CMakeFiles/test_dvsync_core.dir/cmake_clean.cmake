@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dvsync_core.dir/test_dvsync_core.cpp.o"
+  "CMakeFiles/test_dvsync_core.dir/test_dvsync_core.cpp.o.d"
+  "test_dvsync_core"
+  "test_dvsync_core.pdb"
+  "test_dvsync_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dvsync_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

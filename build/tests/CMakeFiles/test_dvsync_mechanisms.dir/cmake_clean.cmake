@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dvsync_mechanisms.dir/test_dvsync_mechanisms.cpp.o"
+  "CMakeFiles/test_dvsync_mechanisms.dir/test_dvsync_mechanisms.cpp.o.d"
+  "test_dvsync_mechanisms"
+  "test_dvsync_mechanisms.pdb"
+  "test_dvsync_mechanisms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dvsync_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_stage.dir/test_gpu_stage.cpp.o"
+  "CMakeFiles/test_gpu_stage.dir/test_gpu_stage.cpp.o.d"
+  "test_gpu_stage"
+  "test_gpu_stage.pdb"
+  "test_gpu_stage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_input.dir/test_input.cpp.o"
+  "CMakeFiles/test_input.dir/test_input.cpp.o.d"
+  "test_input"
+  "test_input.pdb"
+  "test_input[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipl.dir/test_ipl.cpp.o"
+  "CMakeFiles/test_ipl.dir/test_ipl.cpp.o.d"
+  "test_ipl"
+  "test_ipl.pdb"
+  "test_ipl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ltpo_codesign.dir/test_ltpo_codesign.cpp.o"
+  "CMakeFiles/test_ltpo_codesign.dir/test_ltpo_codesign.cpp.o.d"
+  "test_ltpo_codesign"
+  "test_ltpo_codesign.pdb"
+  "test_ltpo_codesign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ltpo_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ltpo_codesign.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_layer.dir/test_multi_layer.cpp.o"
+  "CMakeFiles/test_multi_layer.dir/test_multi_layer.cpp.o.d"
+  "test_multi_layer"
+  "test_multi_layer.pdb"
+  "test_multi_layer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predictors_extra.dir/test_predictors_extra.cpp.o"
+  "CMakeFiles/test_predictors_extra.dir/test_predictors_extra.cpp.o.d"
+  "test_predictors_extra"
+  "test_predictors_extra.pdb"
+  "test_predictors_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predictors_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_grid.dir/test_property_grid.cpp.o"
+  "CMakeFiles/test_property_grid.dir/test_property_grid.cpp.o.d"
+  "test_property_grid"
+  "test_property_grid.pdb"
+  "test_property_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_render_system.dir/test_render_system.cpp.o"
+  "CMakeFiles/test_render_system.dir/test_render_system.cpp.o.d"
+  "test_render_system"
+  "test_render_system.pdb"
+  "test_render_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_render_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

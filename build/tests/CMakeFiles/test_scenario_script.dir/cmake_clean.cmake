@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_script.dir/test_scenario_script.cpp.o"
+  "CMakeFiles/test_scenario_script.dir/test_scenario_script.cpp.o.d"
+  "test_scenario_script"
+  "test_scenario_script.pdb"
+  "test_scenario_script[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

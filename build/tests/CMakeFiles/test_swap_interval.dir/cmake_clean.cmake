@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swap_interval.dir/test_swap_interval.cpp.o"
+  "CMakeFiles/test_swap_interval.dir/test_swap_interval.cpp.o.d"
+  "test_swap_interval"
+  "test_swap_interval.pdb"
+  "test_swap_interval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swap_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_replay.dir/test_trace_replay.cpp.o"
+  "CMakeFiles/test_trace_replay.dir/test_trace_replay.cpp.o.d"
+  "test_trace_replay"
+  "test_trace_replay.pdb"
+  "test_trace_replay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

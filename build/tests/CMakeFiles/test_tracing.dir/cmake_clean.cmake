@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracing.dir/test_tracing.cpp.o"
+  "CMakeFiles/test_tracing.dir/test_tracing.cpp.o.d"
+  "test_tracing"
+  "test_tracing.pdb"
+  "test_tracing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vsyncsrc.dir/test_vsyncsrc.cpp.o"
+  "CMakeFiles/test_vsyncsrc.dir/test_vsyncsrc.cpp.o.d"
+  "test_vsyncsrc"
+  "test_vsyncsrc.pdb"
+  "test_vsyncsrc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vsyncsrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
