@@ -23,7 +23,7 @@ using namespace dvs::bench;
 using namespace dvs::time_literals;
 
 int
-main()
+main(int argc, char **argv)
 {
     print_section("Ablation: compositor latch deadline (Pixel 5, 60 Hz)");
 
@@ -37,24 +37,35 @@ main()
     auto cost = make_cost_model(spec, 60.0, 55);
     const Scenario sc = make_swipe_scenario("latch", 30, 500_ms, cost, 0.7);
 
+    // The lead x architecture grid as one parallel batch.
+    const std::vector<Time> leads = {Time(0), 2_ms, 4_ms, 6_ms, 8_ms};
+    const std::vector<RenderMode> modes = {RenderMode::kVsync,
+                                           RenderMode::kDvsync};
+    std::vector<Experiment> points;
+    for (Time lead : leads) {
+        for (RenderMode mode : modes) {
+            Experiment point;
+            point.scenario = sc;
+            point.config = SystemConfig()
+                               .with_device(pixel5())
+                               .with_mode(mode)
+                               .with_latch_lead(lead);
+            point.label = to_string(mode);
+            points.push_back(std::move(point));
+        }
+    }
+    const ExperimentRunner runner(parse_jobs(argc, argv));
+    const std::vector<RunReport> results = runner.run(points);
+
     TableReporter table({"latch lead (ms)", "architecture", "FDPS",
                          "latency ms", "deadline misses"});
-    for (Time lead : {Time(0), 2_ms, 4_ms, 6_ms, 8_ms}) {
-        for (RenderMode mode :
-             {RenderMode::kVsync, RenderMode::kDvsync}) {
-            SystemConfig cfg;
-            cfg.device = pixel5();
-            cfg.mode = mode;
-            cfg.latch_lead = lead;
-            RenderSystem sys(cfg, sc);
-            sys.run();
-            table.add_row(
-                {TableReporter::num(to_ms(lead), 0), to_string(mode),
-                 TableReporter::num(sys.stats().fdps()),
-                 TableReporter::num(to_ms(Time(
-                     sys.stats().latency().mean())), 1),
-                 std::to_string(sys.compositor().missed_deadline())});
-        }
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunReport &r = results[i];
+        table.add_row({TableReporter::num(
+                           to_ms(leads[i / modes.size()]), 0),
+                       r.label, TableReporter::num(r.fdps),
+                       TableReporter::num(r.latency_mean_ms, 1),
+                       std::to_string(r.deadline_misses)});
     }
     table.print();
 

@@ -20,7 +20,7 @@ using namespace dvs::bench;
 using namespace dvs::time_literals;
 
 int
-main()
+main(int argc, char **argv)
 {
     print_section("Ablation: pre-rendering limit (D-VSync on Pixel 5, "
                   "heavy power-law workload)");
@@ -38,8 +38,19 @@ main()
     setup.swipes = 40;
     setup.repeats = 3;
 
-    const BenchRun baseline =
-        run_profile(spec, device, RenderMode::kVsync, 3, setup, 77);
+    // The whole sweep — the VSync baseline plus limits 1..8 — is one
+    // parallel batch; cell 0 is the baseline, cell k the limit-k run.
+    std::vector<Experiment> points = profile_experiments(
+        spec, device, RenderMode::kVsync, 3, setup, 77);
+    for (int limit = 1; limit <= 8; ++limit) {
+        auto cell = profile_experiments(spec, device, RenderMode::kDvsync,
+                                        limit + 2, setup, 77);
+        points.insert(points.end(), cell.begin(), cell.end());
+    }
+    const ExperimentRunner runner(parse_jobs(argc, argv));
+    const std::vector<RunReport> cells =
+        average_groups(runner.run(points), setup.repeats);
+    const RunReport &baseline = cells.front();
 
     TableReporter table({"limit", "buffers", "memory MB", "FDPS",
                          "reduction", "latency ms"});
@@ -51,8 +62,7 @@ main()
 
     for (int limit = 1; limit <= 8; ++limit) {
         const int buffers = limit + 2;
-        const BenchRun r = run_profile(spec, device, RenderMode::kDvsync,
-                                       buffers, setup, 77);
+        const RunReport &r = cells[std::size_t(limit)];
         table.add_row(
             {std::to_string(limit), std::to_string(buffers),
              TableReporter::num(double(buffers) *

@@ -1,78 +1,89 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 namespace dvs::bench {
 
-BenchRun
-run_system(const SystemConfig &config, const Scenario &scenario)
+const ExperimentRunner &
+bench_runner()
 {
-    RenderSystem sys(config, scenario);
-    sys.run();
-
-    BenchRun r;
-    FrameStats &stats = sys.stats();
-    r.fdps = stats.fdps();
-    r.drops = stats.frame_drops();
-    r.frames_due = stats.frames_due();
-    r.presents = stats.presents();
-    r.latency_mean_ms = to_ms(Time(stats.latency().mean()));
-    r.latency_p95_ms = to_ms(Time(stats.latency().percentile(95)));
-    r.fd_percent = stats.frame_drop_percent();
-    r.direct = stats.direct_composition();
-    r.stuffed = stats.buffer_stuffing();
-    r.stutters = count_stutters(stats);
-    const RunActivity act = sys.activity();
-    r.pipeline_busy_s = to_seconds(act.pipeline_busy);
-    r.frames_produced = act.frames_produced;
-    r.predicted_frames = act.predicted_frames;
-    return r;
+    static const ExperimentRunner runner(default_jobs());
+    return runner;
 }
 
-BenchRun
-run_profile(const ProfileSpec &spec, const DeviceConfig &device,
-            RenderMode mode, int buffers, const SwipeSetup &setup,
-            std::uint64_t seed_base)
+int
+parse_jobs(int argc, char **argv)
 {
-    BenchRun avg;
+    int flag = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+            flag = std::atoi(argv[i] + 7);
+    }
+    return default_jobs(flag);
+}
+
+RunReport
+run_system(const SystemConfig &config, const Scenario &scenario)
+{
+    return run_experiment(config, scenario);
+}
+
+std::vector<Experiment>
+profile_experiments(const ProfileSpec &spec, const DeviceConfig &device,
+                    RenderMode mode, int buffers, const SwipeSetup &setup,
+                    std::uint64_t seed_base)
+{
+    std::vector<Experiment> points;
+    points.reserve(std::size_t(setup.repeats));
     for (int rep = 0; rep < setup.repeats; ++rep) {
         const std::uint64_t seed = seed_base + std::uint64_t(rep) * 7919;
         auto cost = make_cost_model(spec, device.refresh_hz, seed);
         const double fraction = spec.window_fraction > 0
                                     ? spec.window_fraction
                                     : setup.active_fraction;
-        const Scenario sc = make_swipe_scenario(
+        Experiment point;
+        point.scenario = make_swipe_scenario(
             spec.name, setup.swipes, setup.swipe_period, cost, fraction);
-
-        SystemConfig cfg;
-        cfg.device = device;
-        cfg.mode = mode;
-        cfg.buffers = buffers;
-        cfg.prerender_limit = setup.prerender_limit;
-        cfg.seed = seed;
-        const BenchRun r = run_system(cfg, sc);
-
-        avg.fdps += r.fdps;
-        avg.drops += r.drops;
-        avg.frames_due += r.frames_due;
-        avg.presents += r.presents;
-        avg.latency_mean_ms += r.latency_mean_ms;
-        avg.latency_p95_ms += r.latency_p95_ms;
-        avg.fd_percent += r.fd_percent;
-        avg.direct += r.direct;
-        avg.stuffed += r.stuffed;
-        avg.stutters += r.stutters;
-        avg.pipeline_busy_s += r.pipeline_busy_s;
-        avg.frames_produced += r.frames_produced;
-        avg.predicted_frames += r.predicted_frames;
+        point.config = SystemConfig()
+                           .with_device(device)
+                           .with_mode(mode)
+                           .with_buffers(buffers)
+                           .with_prerender_limit(setup.prerender_limit)
+                           .with_seed(seed);
+        point.label = spec.name;
+        points.push_back(std::move(point));
     }
-    const double n = double(setup.repeats);
-    avg.fdps /= n;
-    avg.latency_mean_ms /= n;
-    avg.latency_p95_ms /= n;
-    avg.fd_percent /= n;
-    avg.pipeline_busy_s /= n;
-    return avg;
+    return points;
+}
+
+RunReport
+run_profile(const ProfileSpec &spec, const DeviceConfig &device,
+            RenderMode mode, int buffers, const SwipeSetup &setup,
+            std::uint64_t seed_base)
+{
+    return RunReport::averaged(bench_runner().run(
+        profile_experiments(spec, device, mode, buffers, setup,
+                            seed_base)));
+}
+
+std::vector<RunReport>
+average_groups(const std::vector<RunReport> &reports, int group_size)
+{
+    std::vector<RunReport> cells;
+    if (group_size <= 0)
+        return cells;
+    cells.reserve(reports.size() / std::size_t(group_size) + 1);
+    for (std::size_t start = 0; start < reports.size();
+         start += std::size_t(group_size)) {
+        const std::size_t end =
+            std::min(start + std::size_t(group_size), reports.size());
+        const std::vector<RunReport> group(reports.begin() + long(start),
+                                           reports.begin() + long(end));
+        cells.push_back(RunReport::averaged(group));
+    }
+    return cells;
 }
 
 ProfileSpec
@@ -87,8 +98,8 @@ calibrate_baseline(const ProfileSpec &spec, const DeviceConfig &device,
     SwipeSetup quick = setup;
     quick.repeats = std::max(1, setup.repeats - 1);
     for (int iter = 0; iter < 4; ++iter) {
-        const BenchRun r = run_profile(out, device, RenderMode::kVsync,
-                                       vsync_buffers, quick, seed);
+        const RunReport r = run_profile(out, device, RenderMode::kVsync,
+                                        vsync_buffers, quick, seed);
         if (r.fdps <= 0) {
             out.heavy_per_sec *= 2.0;
             continue;

@@ -6,6 +6,12 @@
  * workload the paper describes, runs it under the baseline VSync and/or
  * D-VSync configurations, and prints the same rows/series the paper
  * reports (with the paper's numbers alongside for comparison).
+ *
+ * Sweeps execute through the parallel experiment harness: a bench
+ * assembles its (config, scenario, seed) points, hands the batch to an
+ * ExperimentRunner, and formats the returned RunReports. Results are
+ * index-aligned with the submitted points, so output is identical at any
+ * --jobs / $DVS_JOBS setting.
  */
 
 #ifndef DVS_BENCH_BENCH_COMMON_H
@@ -13,30 +19,19 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/render_system.h"
+#include "harness/experiment_runner.h"
 #include "metrics/latency.h"
+#include "metrics/run_report.h"
 #include "metrics/stutter_model.h"
 #include "workload/app_profiles.h"
 
 namespace dvs::bench {
 
-/** Condensed outcome of one simulated run. */
-struct BenchRun {
-    double fdps = 0.0;
-    std::uint64_t drops = 0;
-    std::int64_t frames_due = 0;
-    std::uint64_t presents = 0;
-    double latency_mean_ms = 0.0;
-    double latency_p95_ms = 0.0;
-    double fd_percent = 0.0;
-    std::uint64_t direct = 0;
-    std::uint64_t stuffed = 0;
-    std::uint64_t stutters = 0;
-    double pipeline_busy_s = 0.0;
-    std::uint64_t frames_produced = 0;
-    std::uint64_t predicted_frames = 0;
-};
+/** Compatibility alias: the old condensed result type is now RunReport. */
+using BenchRun = RunReport;
 
 /** Parameters of the §6.1 swipe methodology. */
 struct SwipeSetup {
@@ -61,16 +56,38 @@ struct SwipeSetup {
     }
 };
 
+/** The shared bench runner; jobs from --jobs=N (see parse_jobs) / $DVS_JOBS. */
+const ExperimentRunner &bench_runner();
+
+/** Parse a --jobs=N argument; falls back to $DVS_JOBS, then all cores. */
+int parse_jobs(int argc, char **argv);
+
 /** Run one configuration once and summarize. */
-BenchRun run_system(const SystemConfig &config, const Scenario &scenario);
+RunReport run_system(const SystemConfig &config, const Scenario &scenario);
+
+/**
+ * The experiment points of one profile cell: the swipe scenario repeated
+ * over `setup.repeats` seeds under one (device, mode, buffers) tuple.
+ */
+std::vector<Experiment>
+profile_experiments(const ProfileSpec &spec, const DeviceConfig &device,
+                    RenderMode mode, int buffers, const SwipeSetup &setup,
+                    std::uint64_t seed_base = 1);
 
 /**
  * Run an app/os-case profile through the swipe methodology, averaging
  * over `setup.repeats` seeds.
  */
-BenchRun run_profile(const ProfileSpec &spec, const DeviceConfig &device,
-                     RenderMode mode, int buffers, const SwipeSetup &setup,
-                     std::uint64_t seed_base = 1);
+RunReport run_profile(const ProfileSpec &spec, const DeviceConfig &device,
+                      RenderMode mode, int buffers, const SwipeSetup &setup,
+                      std::uint64_t seed_base = 1);
+
+/**
+ * Collapse a flat report list into per-cell averages: every consecutive
+ * @p group_size entries (one cell's repeats) become one averaged report.
+ */
+std::vector<RunReport> average_groups(const std::vector<RunReport> &reports,
+                                      int group_size);
 
 /** Percentage reduction from a to b (positive = improvement). */
 double reduction_percent(double a, double b);

@@ -27,23 +27,29 @@ struct Summary {
 
 Summary
 sweep(const std::vector<ProfileSpec> &specs, const DeviceConfig &device,
-      const SwipeSetup &setup)
+      const SwipeSetup &setup, const ExperimentRunner &runner)
 {
-    Summary s;
-    int n = 0;
+    // Anchor each profile's baseline, then measure the whole population
+    // as one parallel batch.
+    std::vector<Experiment> points;
     for (const ProfileSpec &raw : specs) {
         const std::uint64_t seed = std::hash<std::string>{}(raw.name);
         const ProfileSpec spec = calibrate_baseline(
             raw, device, device.vsync_buffers, setup, seed);
-        const BenchRun r =
-            run_profile(spec, device, RenderMode::kVsync,
-                        device.vsync_buffers, setup, seed);
+        auto cell = profile_experiments(spec, device, RenderMode::kVsync,
+                                        device.vsync_buffers, setup, seed);
+        points.insert(points.end(), cell.begin(), cell.end());
+    }
+    const std::vector<RunReport> cells =
+        average_groups(runner.run(points), setup.repeats);
+
+    Summary s;
+    for (const RunReport &r : cells) {
         s.avg_fd += r.fd_percent;
         s.max_fd = std::max(s.max_fd, r.fd_percent);
-        ++n;
     }
-    if (n)
-        s.avg_fd /= n;
+    if (!cells.empty())
+        s.avg_fd /= double(cells.size());
     return s;
 }
 
@@ -59,36 +65,37 @@ case_specs(OsConfig config)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     print_section("Figure 5: average / max frame-drop percentage of "
                   "display time (baseline VSync)");
 
     SwipeSetup setup = SwipeSetup::os_cases();
     setup.repeats = 2;
+    const ExperimentRunner runner(parse_jobs(argc, argv));
 
     TableReporter table(
         {"configuration", "avg FD%", "max FD%", "paper avg", "paper max"});
 
-    const Summary p5 = sweep(pixel5_app_profiles(), pixel5(), setup);
+    const Summary p5 = sweep(pixel5_app_profiles(), pixel5(), setup, runner);
     table.add_row({"Google Pixel 5 (AOSP 60Hz, GLES)",
                    TableReporter::num(p5.avg_fd, 1),
                    TableReporter::num(p5.max_fd, 1), "3.4", "20.8"});
 
-    const Summary m40 =
-        sweep(case_specs(OsConfig::kMate40Gles), mate40_pro(), setup);
+    const Summary m40 = sweep(case_specs(OsConfig::kMate40Gles),
+                              mate40_pro(), setup, runner);
     table.add_row({"Mate 40 Pro (OH 90Hz, GLES)",
                    TableReporter::num(m40.avg_fd, 1),
                    TableReporter::num(m40.max_fd, 1), "3.5", "7.8"});
 
-    const Summary m60g =
-        sweep(case_specs(OsConfig::kMate60Gles), mate60_pro(), setup);
+    const Summary m60g = sweep(case_specs(OsConfig::kMate60Gles),
+                               mate60_pro(), setup, runner);
     table.add_row({"Mate 60 Pro (OH 120Hz, GLES)",
                    TableReporter::num(m60g.avg_fd, 1),
                    TableReporter::num(m60g.max_fd, 1), "6.3", "27.5"});
 
     const Summary m60v = sweep(case_specs(OsConfig::kMate60Vk),
-                               mate60_pro(Backend::kVulkan), setup);
+                               mate60_pro(Backend::kVulkan), setup, runner);
     table.add_row({"Mate 60 Pro (OH 120Hz, Vulkan)",
                    TableReporter::num(m60v.avg_fd, 1),
                    TableReporter::num(m60v.max_fd, 1), "7.0", "7.4"});

@@ -18,7 +18,7 @@ using namespace dvs;
 using namespace dvs::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     print_section(
         "Figure 11: FDPS for 25 apps on Google Pixel 5 (60 Hz), "
@@ -29,22 +29,44 @@ main()
     // 1000 frames at 60 Hz ~ 25 swipes of 0.7 * 500 ms each.
     setup.swipes = 48;
 
+    struct Cell {
+        RenderMode mode;
+        int buffers;
+    };
+    const Cell cells[] = {{RenderMode::kVsync, 3},
+                          {RenderMode::kDvsync, 4},
+                          {RenderMode::kDvsync, 5},
+                          {RenderMode::kDvsync, 7}};
+    constexpr int kCells = 4;
+
+    // Anchor every app's baseline, then measure all app x buffer-count
+    // cells as one parallel batch.
+    std::vector<ProfileSpec> apps;
+    std::vector<Experiment> points;
+    for (const ProfileSpec &raw : pixel5_app_profiles()) {
+        const std::uint64_t seed = std::hash<std::string>{}(raw.name);
+        apps.push_back(calibrate_baseline(raw, device, 3, setup, seed));
+        for (const Cell &cell : cells) {
+            auto cell_points = profile_experiments(
+                apps.back(), device, cell.mode, cell.buffers, setup, seed);
+            points.insert(points.end(), cell_points.begin(),
+                          cell_points.end());
+        }
+    }
+    const ExperimentRunner runner(parse_jobs(argc, argv));
+    const std::vector<RunReport> results =
+        average_groups(runner.run(points), setup.repeats);
+
     TableReporter table({"app", "paper", "VSync 3", "D-VSync 4",
                          "D-VSync 5", "D-VSync 7", "reduction@5"});
 
     double sum_vs = 0, sum_d4 = 0, sum_d5 = 0, sum_d7 = 0, sum_paper = 0;
-    for (const ProfileSpec &raw : pixel5_app_profiles()) {
-        const std::uint64_t seed = std::hash<std::string>{}(raw.name);
-        const ProfileSpec app =
-            calibrate_baseline(raw, device, 3, setup, seed);
-        const BenchRun vs = run_profile(app, device, RenderMode::kVsync,
-                                        3, setup, seed);
-        const BenchRun d4 = run_profile(app, device, RenderMode::kDvsync,
-                                        4, setup, seed);
-        const BenchRun d5 = run_profile(app, device, RenderMode::kDvsync,
-                                        5, setup, seed);
-        const BenchRun d7 = run_profile(app, device, RenderMode::kDvsync,
-                                        7, setup, seed);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const ProfileSpec &app = apps[i];
+        const RunReport &vs = results[i * kCells + 0];
+        const RunReport &d4 = results[i * kCells + 1];
+        const RunReport &d5 = results[i * kCells + 2];
+        const RunReport &d7 = results[i * kCells + 3];
         sum_paper += app.paper_fdps;
         sum_vs += vs.fdps;
         sum_d4 += d4.fdps;
@@ -58,7 +80,7 @@ main()
                        TableReporter::num(
                            reduction_percent(vs.fdps, d5.fdps), 1) + "%"});
     }
-    const double n = double(pixel5_app_profiles().size());
+    const double n = double(apps.size());
     table.add_row({"AVERAGE", TableReporter::num(sum_paper / n),
                    TableReporter::num(sum_vs / n),
                    TableReporter::num(sum_d4 / n),

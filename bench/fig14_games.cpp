@@ -9,6 +9,7 @@
  * 4 bufs 0.25 (-68.4%); 5 bufs -87.3%.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.h"
@@ -22,9 +23,9 @@ using namespace dvs::time_literals;
 
 namespace {
 
-double
-run_game_trace(const GameInfo &game, const FrameTrace &trace,
-               RenderMode mode, int buffers)
+Experiment
+game_point(const GameInfo &game, const FrameTrace &trace, RenderMode mode,
+           int buffers)
 {
     auto cost = std::make_shared<TraceCostModel>(trace);
     Scenario sc(game.name);
@@ -35,22 +36,27 @@ run_game_trace(const GameInfo &game, const FrameTrace &trace,
     device.refresh_hz = game.rate_hz; // panel follows the game's rate
     device.vsync_buffers = 3;         // custom engines triple-buffer
 
-    SystemConfig cfg;
-    cfg.device = device;
-    cfg.mode = mode;
-    cfg.buffers = buffers;
-    return run_system(cfg, sc).fdps;
+    Experiment point;
+    point.scenario = std::move(sc);
+    point.config = SystemConfig()
+                       .with_device(device)
+                       .with_mode(mode)
+                       .with_buffers(buffers);
+    point.label = game.name;
+    return point;
 }
 
 /** Calibrate the synthetic trace so VSync 3-buf FDPS matches Fig. 14. */
 FrameTrace
-calibrated_trace(const GameInfo &game, std::uint64_t seed)
+calibrated_trace(const GameInfo &game, std::uint64_t seed,
+                 const ExperimentRunner &runner)
 {
     GameInfo adjusted = game;
     FrameTrace trace = make_game_trace(adjusted, 60_s, seed);
     for (int iter = 0; iter < 4; ++iter) {
         const double fdps =
-            run_game_trace(game, trace, RenderMode::kVsync, 3);
+            runner.run_one(game_point(game, trace, RenderMode::kVsync, 3))
+                .fdps;
         if (fdps <= 0) {
             adjusted.paper_fdps *= 2.0;
         } else {
@@ -68,7 +74,7 @@ calibrated_trace(const GameInfo &game, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     print_section("Figure 14: game simulation on Mate 60 Pro, "
                   "VSync 3 bufs vs D-VSync 4/5 bufs (trace replay)");
@@ -76,18 +82,27 @@ main()
     TableReporter table({"game", "rate", "paper", "VSync 3", "D-VSync 4",
                          "D-VSync 5"});
 
-    double sum_vs = 0, sum_d4 = 0, sum_d5 = 0;
+    const ExperimentRunner runner(parse_jobs(argc, argv));
+
+    // Calibrate each game's trace, then replay every game under all
+    // three buffer configurations as one parallel batch.
     const auto &games = game_list();
+    std::vector<Experiment> points;
     for (const GameInfo &game : games) {
         const std::uint64_t seed = std::hash<std::string>{}(game.name);
-        const FrameTrace trace = calibrated_trace(game, seed);
+        const FrameTrace trace = calibrated_trace(game, seed, runner);
+        points.push_back(game_point(game, trace, RenderMode::kVsync, 3));
+        points.push_back(game_point(game, trace, RenderMode::kDvsync, 4));
+        points.push_back(game_point(game, trace, RenderMode::kDvsync, 5));
+    }
+    const std::vector<RunReport> results = runner.run(points);
 
-        const double vs =
-            run_game_trace(game, trace, RenderMode::kVsync, 3);
-        const double d4 =
-            run_game_trace(game, trace, RenderMode::kDvsync, 4);
-        const double d5 =
-            run_game_trace(game, trace, RenderMode::kDvsync, 5);
+    double sum_vs = 0, sum_d4 = 0, sum_d5 = 0;
+    for (std::size_t i = 0; i < games.size(); ++i) {
+        const GameInfo &game = games[i];
+        const double vs = results[i * 3 + 0].fdps;
+        const double d4 = results[i * 3 + 1].fdps;
+        const double d5 = results[i * 3 + 2].fdps;
         sum_vs += vs;
         sum_d4 += d4;
         sum_d5 += d5;

@@ -13,6 +13,7 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_common.h"
 #include "metrics/reporter.h"
@@ -77,22 +78,10 @@ build_task(const UxTask &task, std::uint64_t seed)
     return sc;
 }
 
-std::uint64_t
-run_task(const UxTask &task, RenderMode mode, std::uint64_t seed)
-{
-    SystemConfig cfg;
-    cfg.device = mate60_pro();
-    cfg.mode = mode;
-    cfg.seed = seed;
-    RenderSystem sys(cfg, build_task(task, seed));
-    sys.run();
-    return count_stutters(sys.stats());
-}
-
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     print_section("Table 2: perceived stutters in UX evaluation tasks "
                   "(Mate 60 Pro, 120 Hz)");
@@ -115,15 +104,35 @@ main()
          5.0},
     };
 
+    // Every task under both architectures as one parallel batch; each
+    // task's pair shares the seed so the workloads are identical.
+    std::vector<Experiment> points;
+    std::uint64_t seed = 1000;
+    for (const UxTask &task : tasks) {
+        seed += 17;
+        for (RenderMode mode :
+             {RenderMode::kVsync, RenderMode::kDvsync}) {
+            Experiment point;
+            point.scenario = build_task(task, seed);
+            point.config = SystemConfig()
+                               .with_device(mate60_pro())
+                               .with_mode(mode)
+                               .with_seed(seed);
+            point.label = task.description;
+            points.push_back(std::move(point));
+        }
+    }
+    const ExperimentRunner runner(parse_jobs(argc, argv));
+    const std::vector<RunReport> results = runner.run(points);
+
     TableReporter table({"task", "VSync", "D-VSync", "reduction",
                          "paper VS", "paper DV"});
     std::uint64_t sum_vs = 0, sum_dv = 0;
     int paper_vs_total = 0, paper_dv_total = 0;
-    std::uint64_t seed = 1000;
-    for (const UxTask &task : tasks) {
-        seed += 17;
-        const std::uint64_t vs = run_task(task, RenderMode::kVsync, seed);
-        const std::uint64_t dv = run_task(task, RenderMode::kDvsync, seed);
+    for (std::size_t i = 0; i < std::size(tasks); ++i) {
+        const UxTask &task = tasks[i];
+        const std::uint64_t vs = results[i * 2 + 0].stutters;
+        const std::uint64_t dv = results[i * 2 + 1].stutters;
         sum_vs += vs;
         sum_dv += dv;
         paper_vs_total += task.paper_vsync;

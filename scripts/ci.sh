@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure with warnings-as-errors, build everything,
+# run the full test suite. This is what CI runs and what a PR must keep
+# green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . -DDVS_WERROR=ON
+cmake --build "$BUILD_DIR" -j"$JOBS"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j"$JOBS")

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "metrics/stutter_model.h"
 #include "sim/logging.h"
 
 namespace dvs {
@@ -75,7 +76,7 @@ RenderSystem::RenderSystem(const SystemConfig &config, Scenario scenario)
 
 RenderSystem::~RenderSystem() = default;
 
-void
+RunReport
 RenderSystem::run()
 {
     if (ran_)
@@ -90,6 +91,47 @@ RenderSystem::run()
     const Time tail = Time(buffers_ + 4) * config_.device.period();
     sim_.run_until(producer_->scenario().total_duration() + tail);
     hw_->stop();
+    return report();
+}
+
+RunReport
+RenderSystem::report() const
+{
+    if (!ran_)
+        panic("RenderSystem::report before run");
+
+    RunReport r;
+    r.scenario = producer_->scenario().name();
+    r.config.mode = to_string(config_.mode);
+    r.config.device = config_.device.name;
+    r.config.refresh_hz = config_.device.refresh_hz;
+    r.config.buffers = buffers_;
+    r.config.prerender_limit = prerender_limit();
+    r.config.seed = config_.seed;
+
+    const FrameStats &s = *stats_;
+    r.fdps = s.fdps();
+    r.fd_percent = s.frame_drop_percent();
+    r.fps = s.fps();
+    r.drops = s.frame_drops();
+    r.frames_due = s.frames_due();
+    r.presents = s.presents();
+    r.direct = s.direct_composition();
+    r.stuffed = s.buffer_stuffing();
+    r.latency_mean_ms = to_ms(Time(s.latency().mean()));
+    r.latency_p50_ms = to_ms(Time(s.latency().percentile(50)));
+    r.latency_p95_ms = to_ms(Time(s.latency().percentile(95)));
+    r.latency_p99_ms = to_ms(Time(s.latency().percentile(99)));
+    r.latency_max_ms = to_ms(Time(s.latency().max()));
+    r.stutters = count_stutters(s);
+    r.deadline_misses = compositor_->missed_deadline();
+
+    r.activity = activity();
+    r.energy_mj = PowerModel().energy_mj(r.activity);
+    r.pipeline_busy_s = to_seconds(r.activity.pipeline_busy);
+    r.frames_produced = r.activity.frames_produced;
+    r.predicted_frames = r.activity.predicted_frames;
+    return r;
 }
 
 RunActivity
@@ -144,12 +186,17 @@ RenderSystem::export_trace(TraceLog &log) const
     }
 }
 
+RunReport
+run_experiment(const SystemConfig &config, const Scenario &scenario)
+{
+    RenderSystem system(config, scenario);
+    return system.run();
+}
+
 double
 run_fdps(const SystemConfig &config, const Scenario &scenario)
 {
-    RenderSystem system(config, scenario);
-    system.run();
-    return system.stats().fdps();
+    return run_experiment(config, scenario).fdps;
 }
 
 } // namespace dvs

@@ -24,6 +24,7 @@
 #include "display/panel.h"
 #include "metrics/frame_stats.h"
 #include "metrics/power_model.h"
+#include "metrics/run_report.h"
 #include "pipeline/compositor.h"
 #include "pipeline/producer.h"
 #include "pipeline/swap_interval_pacer.h"
@@ -80,6 +81,72 @@ struct SystemConfig {
     SwapIntervalConfig pacing;
 
     SystemConfig() : device(pixel5()) {}
+
+    // ----- fluent named setters ----------------------------------------
+    //
+    // Sweep points read as one expression instead of mutate-after-copy
+    // blocks:
+    //
+    //   SystemConfig().with_device(mate60_pro())
+    //                 .with_mode(RenderMode::kDvsync)
+    //                 .with_buffers(5)
+
+    SystemConfig &with_device(const DeviceConfig &d)
+    {
+        device = d;
+        return *this;
+    }
+    SystemConfig &with_mode(RenderMode m)
+    {
+        mode = m;
+        return *this;
+    }
+    SystemConfig &with_buffers(int n)
+    {
+        buffers = n;
+        return *this;
+    }
+    SystemConfig &with_prerender_limit(int limit)
+    {
+        prerender_limit = limit;
+        return *this;
+    }
+    SystemConfig &with_seed(std::uint64_t s)
+    {
+        seed = s;
+        return *this;
+    }
+    SystemConfig &with_vsync_jitter(Time jitter)
+    {
+        vsync_jitter = jitter;
+        return *this;
+    }
+    SystemConfig &with_dtv_calibration_interval(int edges)
+    {
+        dtv_calibration_interval = edges;
+        return *this;
+    }
+    SystemConfig &with_latch_lead(Time lead)
+    {
+        latch_lead = lead;
+        return *this;
+    }
+    SystemConfig &with_offsets(Time app, Time rs)
+    {
+        vsync_app_offset = app;
+        vsync_rs_offset = rs;
+        return *this;
+    }
+    SystemConfig &with_predictor_overhead(Time cost)
+    {
+        predictor_overhead = cost;
+        return *this;
+    }
+    SystemConfig &with_pacing(const SwapIntervalConfig &p)
+    {
+        pacing = p;
+        return *this;
+    }
 };
 
 /**
@@ -97,9 +164,15 @@ class RenderSystem
 
     /**
      * Run the scenario to completion (plus a drain margin so in-flight
-     * frames present).
+     * frames present) and return the unified result.
      */
-    void run();
+    RunReport run();
+
+    /**
+     * The unified result of the finished run. Valid only after run();
+     * components stay accessible for callers that need raw logs.
+     */
+    RunReport report() const;
 
     // ----- component access -------------------------------------------
 
@@ -157,7 +230,15 @@ class RenderSystem
 };
 
 /**
+ * One-call entry point: run @p scenario under @p config and return the
+ * unified report.
+ */
+RunReport run_experiment(const SystemConfig &config,
+                         const Scenario &scenario);
+
+/**
  * Convenience: run @p scenario under @p config and return the FDPS.
+ * Thin wrapper over run_experiment(), kept for compatibility.
  */
 double run_fdps(const SystemConfig &config, const Scenario &scenario);
 

@@ -1,0 +1,69 @@
+#include "harness/experiment_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace dvs {
+
+ExperimentRunner::ExperimentRunner(int jobs)
+{
+    if (jobs <= 0)
+        jobs = int(std::thread::hardware_concurrency());
+    jobs_ = std::max(1, jobs);
+}
+
+RunReport
+ExperimentRunner::run_one(const Experiment &point) const
+{
+    RenderSystem sys(point.config, point.scenario);
+    RunReport report = sys.run();
+    report.label = point.label;
+    return report;
+}
+
+std::vector<RunReport>
+ExperimentRunner::run(const std::vector<Experiment> &points) const
+{
+    std::vector<RunReport> reports(points.size());
+    const int workers =
+        int(std::min<std::size_t>(std::size_t(jobs_), points.size()));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < points.size(); ++i)
+            reports[i] = run_one(points[i]);
+        return reports;
+    }
+
+    // Dynamic self-scheduling: points vary wildly in cost (a 60 s game
+    // trace vs. a 400 ms transition), so workers pull the next index
+    // instead of owning a static stripe. Each slot is written by exactly
+    // one worker, so the only synchronization needed is the counter and
+    // the joins.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(std::size_t(workers));
+    for (int w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            for (std::size_t i = next.fetch_add(1); i < points.size();
+                 i = next.fetch_add(1)) {
+                reports[i] = run_one(points[i]);
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    return reports;
+}
+
+int
+default_jobs(int flag_value)
+{
+    if (flag_value > 0)
+        return flag_value;
+    if (const char *env = std::getenv("DVS_JOBS"))
+        return std::atoi(env);
+    return 0;
+}
+
+} // namespace dvs

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Parallel experiment harness.
+ *
+ * Sweeps of (SystemConfig, Scenario, seed) points are embarrassingly
+ * parallel: each RenderSystem is a self-contained deterministic
+ * simulation with no shared mutable state, so independent points can run
+ * on independent worker threads. The ExperimentRunner executes a batch
+ * of points on a fixed-size pool — each worker constructs and owns its
+ * own RenderSystem — and returns the RunReports in submission order, so
+ * the output is bit-identical regardless of the thread count (jobs=1 and
+ * jobs=N produce the same byte sequence; the determinism test asserts
+ * this).
+ */
+
+#ifndef DVS_HARNESS_EXPERIMENT_RUNNER_H
+#define DVS_HARNESS_EXPERIMENT_RUNNER_H
+
+#include <string>
+#include <vector>
+
+#include "core/render_system.h"
+#include "metrics/run_report.h"
+#include "workload/scenario.h"
+
+namespace dvs {
+
+/** One point of a sweep: a configuration applied to a scenario. */
+struct Experiment {
+    SystemConfig config;
+    Scenario scenario;
+
+    /** Carried into RunReport::label so callers can group results. */
+    std::string label;
+};
+
+/**
+ * Fixed-size worker pool over experiment points.
+ *
+ * Workers pull points off a shared index and write results into the
+ * point's submission slot; nothing downstream observes completion order.
+ */
+class ExperimentRunner
+{
+  public:
+    /** @param jobs worker threads; <= 0 selects the hardware count. */
+    explicit ExperimentRunner(int jobs = 0);
+
+    int jobs() const { return jobs_; }
+
+    /**
+     * Execute every point and return its report, index-aligned with
+     * @p points regardless of which worker ran it.
+     */
+    std::vector<RunReport> run(const std::vector<Experiment> &points) const;
+
+    /** Execute a single point inline on the calling thread. */
+    RunReport run_one(const Experiment &point) const;
+
+  private:
+    int jobs_;
+};
+
+/**
+ * Jobs count for harness users: @p flag_value if positive (e.g. a parsed
+ * --jobs=N flag), else $DVS_JOBS, else 0 (all hardware threads).
+ */
+int default_jobs(int flag_value = 0);
+
+} // namespace dvs
+
+#endif // DVS_HARNESS_EXPERIMENT_RUNNER_H

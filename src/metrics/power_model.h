@@ -56,6 +56,9 @@ struct RunActivity {
     std::uint64_t predicted_frames = 0;
     /** Predictor execution time per predicted frame (§6.5: 151.6 µs). */
     Time predictor_overhead = 151'600;
+
+    friend bool operator==(const RunActivity &,
+                           const RunActivity &) = default;
 };
 
 /** First-order energy model. */

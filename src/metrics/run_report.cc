@@ -1,0 +1,83 @@
+#include "metrics/run_report.h"
+
+#include <cstdio>
+
+namespace dvs {
+
+RunReport
+RunReport::averaged(const std::vector<RunReport> &runs)
+{
+    if (runs.empty())
+        return {};
+    RunReport avg = runs.front();
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+        const RunReport &r = runs[i];
+        avg.fdps += r.fdps;
+        avg.fd_percent += r.fd_percent;
+        avg.fps += r.fps;
+        avg.drops += r.drops;
+        avg.frames_due += r.frames_due;
+        avg.presents += r.presents;
+        avg.direct += r.direct;
+        avg.stuffed += r.stuffed;
+        avg.latency_mean_ms += r.latency_mean_ms;
+        avg.latency_p50_ms += r.latency_p50_ms;
+        avg.latency_p95_ms += r.latency_p95_ms;
+        avg.latency_p99_ms += r.latency_p99_ms;
+        avg.latency_max_ms += r.latency_max_ms;
+        avg.stutters += r.stutters;
+        avg.deadline_misses += r.deadline_misses;
+        avg.activity.wall_time += r.activity.wall_time;
+        avg.activity.pipeline_busy += r.activity.pipeline_busy;
+        avg.activity.frames_produced += r.activity.frames_produced;
+        avg.activity.predicted_frames += r.activity.predicted_frames;
+        avg.energy_mj += r.energy_mj;
+        avg.pipeline_busy_s += r.pipeline_busy_s;
+        avg.frames_produced += r.frames_produced;
+        avg.predicted_frames += r.predicted_frames;
+        avg.repeats += r.repeats;
+    }
+    const double n = double(runs.size());
+    avg.fdps /= n;
+    avg.fd_percent /= n;
+    avg.fps /= n;
+    avg.latency_mean_ms /= n;
+    avg.latency_p50_ms /= n;
+    avg.latency_p95_ms /= n;
+    avg.latency_p99_ms /= n;
+    avg.latency_max_ms /= n;
+    avg.energy_mj /= n;
+    avg.pipeline_busy_s /= n;
+    return avg;
+}
+
+std::string
+RunReport::debug_string() const
+{
+    // %.17g round-trips doubles exactly, so equal strings <=> equal
+    // reports bit for bit.
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "label=%s scenario=%s mode=%s device=%s hz=%.17g buffers=%d "
+        "limit=%d seed=%llu fdps=%.17g fd%%=%.17g fps=%.17g drops=%llu "
+        "due=%lld presents=%llu direct=%llu stuffed=%llu "
+        "lat(ms)=[%.17g %.17g %.17g %.17g %.17g] stutters=%llu "
+        "deadline_misses=%llu wall=%lld busy=%lld produced=%llu "
+        "predicted=%llu dvsync=%d energy_mj=%.17g repeats=%d",
+        label.c_str(), scenario.c_str(), config.mode.c_str(),
+        config.device.c_str(), config.refresh_hz, config.buffers,
+        config.prerender_limit, (unsigned long long)config.seed, fdps,
+        fd_percent, fps, (unsigned long long)drops, (long long)frames_due,
+        (unsigned long long)presents, (unsigned long long)direct,
+        (unsigned long long)stuffed, latency_mean_ms, latency_p50_ms,
+        latency_p95_ms, latency_p99_ms, latency_max_ms,
+        (unsigned long long)stutters, (unsigned long long)deadline_misses,
+        (long long)activity.wall_time, (long long)activity.pipeline_busy,
+        (unsigned long long)activity.frames_produced,
+        (unsigned long long)activity.predicted_frames,
+        int(activity.dvsync_on), energy_mj, repeats);
+    return buf;
+}
+
+} // namespace dvs

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * RunReport: the unified result type of a simulated run.
+ *
+ * One value aggregating everything the evaluation cares about — frame
+ * drops and FDPS, the Fig. 6 displayed-frame classification, rendering
+ * latency percentiles, perceived stutters, compositor deadline misses,
+ * power-model activity and energy, and the effective configuration the
+ * run resolved to. Benches and the experiment harness consume this
+ * instead of reaching into FrameStats / Panel / RunActivity piecemeal,
+ * so a run's outcome can be stored, compared, and averaged as a plain
+ * value.
+ */
+
+#ifndef DVS_METRICS_RUN_REPORT_H
+#define DVS_METRICS_RUN_REPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/power_model.h"
+
+namespace dvs {
+
+/** The configuration a run effectively executed with. */
+struct ReportConfig {
+    std::string mode;   ///< "VSync" / "D-VSync" / "SwapInterval"
+    std::string device; ///< marketing name of the device preset
+    double refresh_hz = 0.0;
+    int buffers = 0;         ///< resolved queue capacity
+    int prerender_limit = 0; ///< resolved limit (0 under VSync)
+    std::uint64_t seed = 0;
+
+    friend bool operator==(const ReportConfig &,
+                           const ReportConfig &) = default;
+};
+
+/** Complete, self-contained outcome of one (or several averaged) runs. */
+struct RunReport {
+    std::string label;    ///< free-form tag from the experiment point
+    std::string scenario; ///< scenario name
+    ReportConfig config;
+
+    // ----- frame drops (§3.2) ------------------------------------------
+    double fdps = 0.0;
+    double fd_percent = 0.0;
+    double fps = 0.0;
+    std::uint64_t drops = 0;
+    std::int64_t frames_due = 0;
+
+    // ----- displayed-frame classification (Fig. 6) ----------------------
+    std::uint64_t presents = 0;
+    std::uint64_t direct = 0;
+    std::uint64_t stuffed = 0;
+
+    // ----- rendering latency (§6.3), milliseconds ------------------------
+    double latency_mean_ms = 0.0;
+    double latency_p50_ms = 0.0;
+    double latency_p95_ms = 0.0;
+    double latency_p99_ms = 0.0;
+    double latency_max_ms = 0.0;
+
+    // ----- perception + pipeline health ---------------------------------
+    std::uint64_t stutters = 0;
+    std::uint64_t deadline_misses = 0; ///< compositor latch misses
+
+    // ----- power model (§6.4) -------------------------------------------
+    RunActivity activity;
+    double energy_mj = 0.0;
+    double pipeline_busy_s = 0.0;
+    std::uint64_t frames_produced = 0;
+    std::uint64_t predicted_frames = 0;
+
+    /** Runs aggregated into this report (1 for a single run). */
+    int repeats = 1;
+
+    /**
+     * Combine repeat runs of the same point: rates, percentages,
+     * latencies, and energies are averaged; event counts are summed
+     * (matching the paper's seed-averaging methodology). Identity on an
+     * empty or single-element input.
+     */
+    static RunReport averaged(const std::vector<RunReport> &runs);
+
+    /**
+     * Full-precision textual dump of every field. Two reports are
+     * byte-identical here iff they compare equal; the determinism tests
+     * diff these strings.
+     */
+    std::string debug_string() const;
+
+    friend bool operator==(const RunReport &, const RunReport &) = default;
+};
+
+} // namespace dvs
+
+#endif // DVS_METRICS_RUN_REPORT_H

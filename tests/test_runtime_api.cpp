@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests of the DvsyncRuntime dual-channel API (§4.5) exercised
+ * mid-scenario: the runtime on/off switch (capability 4) falling back to
+ * coupled behaviour, and the frame-display-time query (capability 3)
+ * advancing monotonically across pre-rendered frames.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/render_system.h"
+#include "workload/frame_cost.h"
+
+using namespace dvs;
+using namespace dvs::time_literals;
+
+namespace {
+
+Scenario
+steady_animation(Time duration)
+{
+    Scenario sc("anim");
+    sc.animate(duration,
+               std::make_shared<ConstantCostModel>(1_ms, 4_ms));
+    return sc;
+}
+
+/** Drive the assembled stack manually so the test can act mid-run. */
+void
+start(RenderSystem &sys)
+{
+    sys.hw_vsync().start();
+    sys.producer().start(0);
+}
+
+Time
+drain_end(RenderSystem &sys)
+{
+    return sys.producer().scenario().total_duration() +
+           Time(sys.buffers() + 4) * sys.config().device.period();
+}
+
+} // namespace
+
+TEST(DvsyncRuntimeApi, DisableMidScenarioFallsBackToCoupled)
+{
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    RenderSystem sys(cfg, steady_animation(1_s));
+    ASSERT_NE(sys.runtime(), nullptr);
+
+    start(sys);
+    const Time switch_off = 500_ms;
+    sys.sim().run_until(switch_off);
+    sys.runtime()->set_enabled(false);
+    sys.sim().run_until(drain_end(sys));
+    sys.hw_vsync().stop();
+
+    // Before the switch the FPE ran frames ahead of VSync; afterwards
+    // every frame must be VSync-triggered, exactly like the coupled
+    // baseline.
+    std::uint64_t pre_before = 0, pre_after = 0, after_frames = 0;
+    for (const FrameRecord &rec : sys.producer().records()) {
+        if (rec.ui_start <= switch_off) {
+            pre_before += rec.pre_rendered;
+        } else {
+            ++after_frames;
+            pre_after += rec.pre_rendered;
+        }
+    }
+    EXPECT_GT(pre_before, 0u);
+    EXPECT_GT(after_frames, 0u);
+    EXPECT_EQ(pre_after, 0u);
+
+    // The light constant load stays smooth through the transition.
+    EXPECT_EQ(sys.stats().frame_drops(), 0u);
+}
+
+TEST(DvsyncRuntimeApi, ReEnableResumesPreRendering)
+{
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    RenderSystem sys(cfg, steady_animation(1'500_ms));
+
+    start(sys);
+    sys.sim().run_until(500_ms);
+    sys.runtime()->set_enabled(false);
+    sys.sim().run_until(1'000_ms);
+    sys.runtime()->set_enabled(true);
+    sys.sim().run_until(drain_end(sys));
+    sys.hw_vsync().stop();
+
+    std::uint64_t pre_in_off_window = 0, pre_after_reenable = 0;
+    for (const FrameRecord &rec : sys.producer().records()) {
+        if (rec.ui_start > 500_ms && rec.ui_start <= 1'000_ms)
+            pre_in_off_window += rec.pre_rendered;
+        else if (rec.ui_start > 1'000_ms)
+            pre_after_reenable += rec.pre_rendered;
+    }
+    EXPECT_EQ(pre_in_off_window, 0u);
+    EXPECT_GT(pre_after_reenable, 0u);
+}
+
+TEST(DvsyncRuntimeApi, QueryDisplayTimeAdvancesMonotonically)
+{
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    RenderSystem sys(cfg, steady_animation(1_s));
+
+    start(sys);
+    // Sample the D-Timestamp a decoupling-aware app would render with,
+    // every 5 ms across the run: pre-rendered frames push it ahead of
+    // real time, and it must never move backwards.
+    std::vector<Time> samples;
+    for (Time t = 20_ms; t <= 1_s; t += 5_ms) {
+        sys.sim().run_until(t);
+        samples.push_back(sys.runtime()->query_display_time());
+    }
+    sys.sim().run_until(drain_end(sys));
+    sys.hw_vsync().stop();
+
+    ASSERT_FALSE(samples.empty());
+    for (std::size_t i = 1; i < samples.size(); ++i)
+        EXPECT_GE(samples[i], samples[i - 1]) << "sample " << i;
+
+    // The queried display time accounts for the frames queued ahead: it
+    // sits beyond the sampling instant once pre-rendering has ramped up.
+    EXPECT_GT(samples.back(), 1_s);
+}
+
+TEST(DvsyncRuntimeApi, QueryDisplayTimeLeadGrowsWithAccumulation)
+{
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    cfg.buffers = 7; // deep queue: up to 5 pre-rendered frames
+    RenderSystem sys(cfg, steady_animation(1_s));
+
+    start(sys);
+    sys.sim().run_until(500_ms);
+    const Time lead = sys.runtime()->query_display_time() - sys.sim().now();
+    // With the pipeline saturated, the next frame's display slot is at
+    // least the accumulated depth ahead of now.
+    EXPECT_GE(lead, sys.config().device.period());
+    sys.sim().run_until(drain_end(sys));
+    sys.hw_vsync().stop();
+}
