@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Simulator-core performance record (`BENCH_simcore.json`).
+ *
+ * Every figure and table of the reproduction is driven by the
+ * discrete-event core, so its per-event cost bounds the wall-clock of
+ * every sweep. This bench pins that cost from three angles:
+ *
+ *  1. A cancel-heavy schedule/cancel/fire mix (the watchdog/timeout
+ *     pattern: a ring of outstanding timers that are mostly re-armed
+ *     before they fire), run against both the production EventQueue and
+ *     an in-bench replica of the pre-slot-map storage (linear callback
+ *     scan). The acceptance bar for the storage rewrite is >= 5x on the
+ *     1M-event run.
+ *  2. A pure schedule/fire chain mix (the simulator's steady-state
+ *     pattern) for dispatch-throughput parity.
+ *  3. A full fig11-style app sweep timed end-to-end through the parallel
+ *     ExperimentRunner — the macro number that the micro numbers exist
+ *     to explain.
+ *
+ * Both queue implementations must produce byte-identical dispatch
+ * sequences (same (time, priority, seq) semantics); each workload folds
+ * its dispatch order into a checksum and the bench aborts on mismatch.
+ * The checksums are deterministic for a given --events value, so CI can
+ * golden-check them while the timings float.
+ *
+ * Usage: perf_sim_core [--events=N] [--jobs=N] [--out=PATH]
+ *   --events=N   events per micro workload (default 1,000,000)
+ *   --out=PATH   where to write the JSON record (default
+ *                BENCH_simcore.json; "-" suppresses the file)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "metrics/reporter.h"
+#include "sim/event_queue.h"
+#include "sim/logging.h"
+
+using namespace dvs;
+using namespace dvs::bench;
+
+namespace {
+
+/**
+ * Replica of the pre-rewrite EventQueue storage: heap of (time, prio,
+ * seq) entries plus a *linear-scan* callback vector, with cancelled
+ * entries skipped lazily at dispatch. Kept here (not in src/) purely as
+ * the measured baseline; semantics are identical to the production queue.
+ */
+class LegacyEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Time now() const { return now_; }
+
+    EventId schedule(Time when, Callback fn,
+                     EventPriority prio = EventPriority::kDefault)
+    {
+        EventId id = next_id_++;
+        heap_.push(Entry{when, static_cast<int>(prio), next_seq_++, id});
+        callbacks_.emplace_back(id, std::move(fn));
+        return id;
+    }
+
+    bool cancel(EventId id)
+    {
+        for (auto &kv : callbacks_) {
+            if (kv.first == id && kv.second) {
+                kv.second = nullptr;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    std::uint64_t run_until(Time horizon, bool advance_to_horizon = true)
+    {
+        std::uint64_t n = 0;
+        while (!heap_.empty() && heap_.top().when <= horizon) {
+            Entry e = heap_.top();
+            heap_.pop();
+            Callback fn;
+            for (auto it = callbacks_.begin(); it != callbacks_.end();
+                 ++it) {
+                if (it->first == e.id) {
+                    fn = std::move(it->second);
+                    callbacks_.erase(it);
+                    break;
+                }
+            }
+            if (!fn)
+                continue; // cancelled
+            now_ = e.when;
+            ++n;
+            fn();
+        }
+        if (advance_to_horizon && horizon != kTimeMax && now_ < horizon)
+            now_ = horizon;
+        return n;
+    }
+
+    std::uint64_t run() { return run_until(kTimeMax, false); }
+
+  private:
+    struct Entry {
+        Time when;
+        int prio;
+        std::uint64_t seq;
+        EventId id;
+
+        bool operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (prio != o.prio)
+                return prio > o.prio;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::vector<std::pair<EventId, Callback>> callbacks_;
+    Time now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t next_id_ = 1;
+};
+
+/** Deterministic splitmix-style stream so runs are comparable. */
+struct Lcg {
+    std::uint64_t s;
+    std::uint64_t next()
+    {
+        s += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = s;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+};
+
+double
+ms_since(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * Cancel-heavy mix: a ring of `window` outstanding timers; each step
+ * re-arms a pseudo-random ring slot (cancelling whatever was pending
+ * there) and periodically drains a short horizon. Checksum folds the
+ * dispatch order so both implementations can be cross-checked.
+ */
+template <class Queue>
+std::uint64_t
+cancel_heavy_mix(Queue &q, int events, int window, std::uint64_t &fired)
+{
+    std::vector<EventId> ring(std::size_t(window), 0);
+    std::uint64_t checksum = 0xcbf29ce484222325ULL;
+    std::uint64_t step = 0;
+    Lcg rng{42};
+    for (int i = 0; i < events; ++i) {
+        const std::size_t slot = std::size_t(rng.next() % ring.size());
+        if (ring[slot])
+            q.cancel(ring[slot]);
+        const Time when = q.now() + 1 + Time(rng.next() % 4096);
+        const std::uint64_t tag = step++;
+        ring[slot] = q.schedule(when, [&checksum, &fired, tag, &q] {
+            checksum = (checksum ^ tag) * 0x100000001b3ULL;
+            checksum = (checksum ^ std::uint64_t(q.now())) *
+                       0x100000001b3ULL;
+            ++fired;
+        });
+        if ((i & 255) == 0)
+            q.run_until(q.now() + 64);
+    }
+    q.run();
+    return checksum;
+}
+
+/**
+ * Steady-state chain mix: `width` self-rescheduling chains (each fired
+ * event schedules its successor), the simulator's dominant pattern.
+ */
+template <class Queue>
+std::uint64_t
+chain_mix(Queue &q, int events, int width, std::uint64_t &fired)
+{
+    std::uint64_t checksum = 0xcbf29ce484222325ULL;
+    std::uint64_t budget = std::uint64_t(events);
+    std::function<void(std::uint64_t)> arm = [&](std::uint64_t chain) {
+        checksum = (checksum ^ chain) * 0x100000001b3ULL;
+        checksum = (checksum ^ std::uint64_t(q.now())) * 0x100000001b3ULL;
+        ++fired;
+        if (budget == 0)
+            return;
+        --budget;
+        Lcg rng{chain * 7919 + fired};
+        q.schedule(q.now() + 1 + Time(rng.next() % 997),
+                   [&arm, chain] { arm(chain); });
+    };
+    for (int c = 0; c < width; ++c) {
+        if (budget == 0)
+            break;
+        --budget;
+        q.schedule(Time(c + 1), [&arm, c] { arm(std::uint64_t(c)); });
+    }
+    q.run();
+    return checksum;
+}
+
+/** The fig11 app sweep (uncalibrated), as one ExperimentRunner batch. */
+std::vector<Experiment>
+fig11_sweep_points()
+{
+    const DeviceConfig device = pixel5();
+    SwipeSetup setup;
+    setup.swipes = 48;
+    struct Cell {
+        RenderMode mode;
+        int buffers;
+    };
+    const Cell cells[] = {{RenderMode::kVsync, 3},
+                          {RenderMode::kDvsync, 4},
+                          {RenderMode::kDvsync, 5},
+                          {RenderMode::kDvsync, 7}};
+    std::vector<Experiment> points;
+    for (const ProfileSpec &app : pixel5_app_profiles()) {
+        const std::uint64_t seed = std::hash<std::string>{}(app.name);
+        for (const Cell &cell : cells) {
+            auto cell_points = profile_experiments(
+                app, device, cell.mode, cell.buffers, setup, seed);
+            points.insert(points.end(), cell_points.begin(),
+                          cell_points.end());
+        }
+    }
+    return points;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int events = 1'000'000;
+    std::string out_path = "BENCH_simcore.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--events=", 9) == 0)
+            events = std::atoi(argv[i] + 9);
+        else if (std::strncmp(argv[i], "--out=", 6) == 0)
+            out_path = argv[i] + 6;
+    }
+    if (events <= 0)
+        fatal("--events must be positive");
+    const int jobs = parse_jobs(argc, argv);
+    const int window = 1024;
+
+    print_section("Simulator-core performance record");
+    std::printf("events per micro workload: %d\n\n", events);
+
+    // ---- cancel-heavy mix: production queue vs legacy replica ----------
+    std::uint64_t fired_new = 0, fired_legacy = 0;
+
+    auto t0 = std::chrono::steady_clock::now();
+    EventQueue q_new;
+    const std::uint64_t sum_new =
+        cancel_heavy_mix(q_new, events, window, fired_new);
+    const double cancel_new_ms = ms_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    LegacyEventQueue q_old;
+    const std::uint64_t sum_legacy =
+        cancel_heavy_mix(q_old, events, window, fired_legacy);
+    const double cancel_legacy_ms = ms_since(t0);
+
+    if (sum_new != sum_legacy || fired_new != fired_legacy) {
+        fatal("dispatch order diverged between storage implementations: "
+              "%016llx (%llu fired) vs %016llx (%llu fired)",
+              (unsigned long long)sum_new, (unsigned long long)fired_new,
+              (unsigned long long)sum_legacy,
+              (unsigned long long)fired_legacy);
+    }
+    const double speedup = cancel_legacy_ms / cancel_new_ms;
+
+    // ---- steady-state chain mix ----------------------------------------
+    std::uint64_t chain_fired_new = 0, chain_fired_legacy = 0;
+
+    t0 = std::chrono::steady_clock::now();
+    EventQueue q_new2;
+    const std::uint64_t chain_sum_new =
+        chain_mix(q_new2, events, 256, chain_fired_new);
+    const double chain_new_ms = ms_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    LegacyEventQueue q_old2;
+    const std::uint64_t chain_sum_legacy =
+        chain_mix(q_old2, events, 256, chain_fired_legacy);
+    const double chain_legacy_ms = ms_since(t0);
+
+    if (chain_sum_new != chain_sum_legacy)
+        fatal("chain-mix dispatch order diverged");
+
+    // ---- macro: fig11 sweep through the ExperimentRunner ---------------
+    const std::vector<Experiment> points = fig11_sweep_points();
+    const ExperimentRunner runner(jobs);
+    t0 = std::chrono::steady_clock::now();
+    const std::vector<RunReport> reports = runner.run(points);
+    const double sweep_ms = ms_since(t0);
+    double sweep_fdps = 0.0;
+    for (const RunReport &r : reports)
+        sweep_fdps += r.fdps;
+
+    TableReporter table({"workload", "slot-map (ms)", "linear-scan (ms)",
+                         "speedup"});
+    table.add_row({"cancel-heavy mix", TableReporter::num(cancel_new_ms, 1),
+                   TableReporter::num(cancel_legacy_ms, 1),
+                   TableReporter::num(speedup, 1) + "x"});
+    table.add_row({"chain mix", TableReporter::num(chain_new_ms, 1),
+                   TableReporter::num(chain_legacy_ms, 1),
+                   TableReporter::num(chain_legacy_ms / chain_new_ms, 1) +
+                       "x"});
+    table.print();
+
+    std::printf("\nfig11 sweep: %zu runs in %.1f ms (%d jobs)\n",
+                points.size(), sweep_ms, runner.jobs());
+    // Deterministic lines (checksums + fired counts) for the golden
+    // check; everything time-valued above floats run to run.
+    std::printf("dispatch checksum (cancel-heavy): %016llx after %llu "
+                "events\n",
+                (unsigned long long)sum_new,
+                (unsigned long long)fired_new);
+    std::printf("dispatch checksum (chain):        %016llx after %llu "
+                "events\n",
+                (unsigned long long)chain_sum_new,
+                (unsigned long long)chain_fired_new);
+    std::printf("fig11 sweep fdps sum:             %.6f over %zu runs\n",
+                sweep_fdps, reports.size());
+
+    if (out_path != "-") {
+        FILE *f = std::fopen(out_path.c_str(), "w");
+        if (!f)
+            fatal("cannot write %s", out_path.c_str());
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"perf_sim_core\",\n"
+            "  \"schema\": 1,\n"
+            "  \"events\": %d,\n"
+            "  \"cancel_window\": %d,\n"
+            "  \"cancel_heavy\": {\n"
+            "    \"slot_map_ms\": %.3f,\n"
+            "    \"linear_scan_ms\": %.3f,\n"
+            "    \"speedup\": %.2f,\n"
+            "    \"dispatched\": %llu,\n"
+            "    \"checksum\": \"%016llx\"\n"
+            "  },\n"
+            "  \"chain\": {\n"
+            "    \"slot_map_ms\": %.3f,\n"
+            "    \"linear_scan_ms\": %.3f,\n"
+            "    \"speedup\": %.2f,\n"
+            "    \"dispatched\": %llu,\n"
+            "    \"checksum\": \"%016llx\"\n"
+            "  },\n"
+            "  \"fig11_sweep\": {\n"
+            "    \"runs\": %zu,\n"
+            "    \"jobs\": %d,\n"
+            "    \"wall_ms\": %.3f,\n"
+            "    \"fdps_sum\": %.6f\n"
+            "  }\n"
+            "}\n",
+            events, window, cancel_new_ms, cancel_legacy_ms, speedup,
+            (unsigned long long)fired_new, (unsigned long long)sum_new,
+            chain_new_ms, chain_legacy_ms, chain_legacy_ms / chain_new_ms,
+            (unsigned long long)chain_fired_new,
+            (unsigned long long)chain_sum_new, points.size(),
+            runner.jobs(), sweep_ms, sweep_fdps);
+        std::fclose(f);
+        std::printf("\nperf record written to %s\n", out_path.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Bench-output determinism check: every deterministic bench binary must
+# produce byte-identical stdout to its golden under bench/goldens/, and
+# perf_sim_core's dispatch checksums must match their pinned values.
+# Catches any change to simulation results — above all a dispatch-order
+# change in the event-queue core. See bench/goldens/README.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+BENCH_DIR="$BUILD_DIR/bench"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail=0
+for golden in bench/goldens/*.txt; do
+    name="$(basename "$golden" .txt)"
+    case "$name" in
+        perf_sim_core.checksums) continue ;;
+    esac
+    bin="$BENCH_DIR/$name"
+    if [[ ! -x "$bin" ]]; then
+        echo "MISSING  $name (build it first: cmake --build $BUILD_DIR)"
+        fail=1
+        continue
+    fi
+    "$bin" > "$TMP/$name.txt" 2>&1
+    if cmp -s "$golden" "$TMP/$name.txt"; then
+        echo "OK       $name"
+    else
+        echo "DIFF     $name"
+        diff "$golden" "$TMP/$name.txt" | head -20 || true
+        fail=1
+    fi
+done
+
+# perf_sim_core: timings float, but the dispatch checksums and sweep FDPS
+# sum are deterministic at a fixed --events.
+"$BENCH_DIR/perf_sim_core" --events=200000 --out=- \
+    | grep -E 'dispatch checksum|fdps sum' > "$TMP/perf_sim_core.checksums.txt"
+if cmp -s bench/goldens/perf_sim_core.checksums.txt \
+          "$TMP/perf_sim_core.checksums.txt"; then
+    echo "OK       perf_sim_core (dispatch checksums)"
+else
+    echo "DIFF     perf_sim_core (dispatch checksums)"
+    diff bench/goldens/perf_sim_core.checksums.txt \
+         "$TMP/perf_sim_core.checksums.txt" || true
+    fail=1
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+    echo
+    echo "Golden mismatch. If the output change is intentional, regenerate"
+    echo "the golden and explain the diff in the commit message"
+    echo "(see bench/goldens/README.md)."
+    exit 1
+fi
+echo "All bench goldens match."

@@ -2,12 +2,29 @@
 # Tier-1 verify: configure with warnings-as-errors, build everything,
 # run the full test suite. This is what CI runs and what a PR must keep
 # green.
+#
+#   scripts/ci.sh             # plain build + tests
+#   scripts/ci.sh --sanitize  # ASan+UBSan build + tests (separate
+#                             # build dir; exercises the event-queue
+#                             # slot-recycling storage under sanitizers)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${BUILD_DIR:-build}"
+SANITIZE=OFF
+for arg in "$@"; do
+    case "$arg" in
+        --sanitize) SANITIZE=ON ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+if [[ "$SANITIZE" == ON ]]; then
+    BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+else
+    BUILD_DIR="${BUILD_DIR:-build}"
+fi
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-cmake -B "$BUILD_DIR" -S . -DDVS_WERROR=ON
+cmake -B "$BUILD_DIR" -S . -DDVS_WERROR=ON -DDVS_SANITIZE="$SANITIZE"
 cmake --build "$BUILD_DIR" -j"$JOBS"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j"$JOBS")

@@ -119,9 +119,14 @@ RenderSystem::report() const
     r.direct = s.direct_composition();
     r.stuffed = s.buffer_stuffing();
     r.latency_mean_ms = to_ms(Time(s.latency().mean()));
-    r.latency_p50_ms = to_ms(Time(s.latency().percentile(50)));
-    r.latency_p95_ms = to_ms(Time(s.latency().percentile(95)));
-    r.latency_p99_ms = to_ms(Time(s.latency().percentile(99)));
+    // percentile() is NaN on an empty sample set; a run that presented no
+    // frames reports 0 latency explicitly so reports stay comparable
+    // (and debug_string() stays byte-stable).
+    if (s.latency().count() > 0) {
+        r.latency_p50_ms = to_ms(Time(s.latency().percentile(50)));
+        r.latency_p95_ms = to_ms(Time(s.latency().percentile(95)));
+        r.latency_p99_ms = to_ms(Time(s.latency().percentile(99)));
+    }
     r.latency_max_ms = to_ms(Time(s.latency().max()));
     r.stutters = count_stutters(s);
     r.deadline_misses = compositor_->missed_deadline();

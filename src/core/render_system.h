@@ -238,7 +238,12 @@ RunReport run_experiment(const SystemConfig &config,
 
 /**
  * Convenience: run @p scenario under @p config and return the FDPS.
- * Thin wrapper over run_experiment(), kept for compatibility.
+ *
+ * @deprecated Thin wrapper kept for source compatibility only. Use
+ * run_experiment() and read `.fdps` from the returned RunReport — the
+ * report carries every other metric of the same run for free, and this
+ * wrapper will be removed once nothing in the tree calls it (see
+ * DESIGN.md §5a "Migration").
  */
 double run_fdps(const SystemConfig &config, const Scenario &scenario);
 

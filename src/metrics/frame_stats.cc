@@ -159,7 +159,9 @@ FrameStats::summary() const
     s.set("direct_composition", double(direct_));
     s.set("buffer_stuffing", double(stuffed_));
     s.set("latency_mean_ms", to_ms(Time(latency_.mean())));
-    s.set("latency_p95_ms", to_ms(Time(latency_.percentile(95))));
+    s.set("latency_p95_ms",
+          latency_.count() > 0 ? to_ms(Time(latency_.percentile(95)))
+                               : 0.0);
     s.set("latency_max_ms", to_ms(Time(latency_.max())));
     if (touch_error_.count() > 0) {
         s.set("touch_error_mean_px", touch_error_.mean());

@@ -18,10 +18,19 @@ Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi)
 void
 Histogram::add(double x)
 {
-    int i = int((x - lo_) / width_);
-    i = std::clamp(i, 0, bins() - 1);
-    ++counts_[std::size_t(i)];
     ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    // x in [lo, hi): rounding can still land exactly on bins() when x is
+    // a hair under hi, so clamp the index (not the sample) to the range.
+    const int i = std::min(int((x - lo_) / width_), bins() - 1);
+    ++counts_[std::size_t(i)];
 }
 
 double
@@ -35,7 +44,9 @@ Histogram::cdf_at(int i) const
 {
     if (total_ == 0)
         return 0.0;
-    std::uint64_t cum = 0;
+    // Underflow samples lie below every bin edge, so they belong in every
+    // cumulative count; overflow samples lie above all edges and in none.
+    std::uint64_t cum = underflow_;
     for (int k = 0; k <= i; ++k)
         cum += counts_[std::size_t(k)];
     return double(cum) / double(total_);
@@ -59,9 +70,16 @@ Histogram::cdf(double x) const
 std::string
 Histogram::to_csv() const
 {
-    std::string out = "bin_right_edge,pdf,cdf\n";
     char buf[96];
-    std::uint64_t cum = 0;
+    std::string out;
+    std::snprintf(buf, sizeof(buf),
+                  "# samples,%llu\n# underflow,%llu\n# overflow,%llu\n",
+                  (unsigned long long)total_,
+                  (unsigned long long)underflow_,
+                  (unsigned long long)overflow_);
+    out += buf;
+    out += "bin_right_edge,pdf,cdf\n";
+    std::uint64_t cum = underflow_;
     for (int i = 0; i < bins(); ++i) {
         cum += counts_[std::size_t(i)];
         const double pdf =

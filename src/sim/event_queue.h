@@ -5,6 +5,21 @@
  * Events are executed in (time, priority, insertion-sequence) order, which
  * makes simulations fully reproducible: two events scheduled for the same
  * tick with the same priority run in the order they were scheduled.
+ *
+ * Complexity guarantees (the simulator's hot path — see DESIGN.md):
+ *  - schedule():        O(log n) heap push, O(1) callback storage
+ *  - cancel():          O(1) slot lookup + amortized O(log n) pruning
+ *  - dispatch:          O(log n) heap pop, O(1) callback lookup
+ *  - next_event_time(): O(1), never reports a cancelled event
+ *
+ * Callback storage is a slot map: an EventId encodes {slot index,
+ * generation}, so lookup is an array index plus a generation check, and
+ * cancelled slots are recycled through a free list immediately (memory is
+ * bounded by the maximum number of *concurrently pending* events, not by
+ * the total scheduled over a run). Heap entries of cancelled events are
+ * skipped lazily at dispatch; dead entries at the top are pruned eagerly
+ * on cancel, and the heap is compacted whenever dead entries outnumber
+ * live ones, so cancel-heavy workloads stay O(live) in memory too.
  */
 
 #ifndef DVS_SIM_EVENT_QUEUE_H
@@ -12,7 +27,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/time.h"
@@ -33,7 +47,12 @@ enum class EventPriority : int {
     kMetrics = 90,   ///< end-of-tick bookkeeping
 };
 
-/** Handle used to cancel a scheduled event. */
+/**
+ * Handle used to cancel a scheduled event. Encodes {slot, generation};
+ * treat it as opaque. A handle goes stale once its event fires or is
+ * cancelled — using it afterwards is a detected no-op, even if the
+ * underlying slot has been recycled for a newer event.
+ */
 using EventId = std::uint64_t;
 
 /**
@@ -73,8 +92,9 @@ class EventQueue
     }
 
     /**
-     * Cancel a pending event. Cancelling an already-fired or unknown id is
-     * a no-op.
+     * Cancel a pending event. Cancelling an already-fired, already-
+     * cancelled, or unknown id is a no-op: stale handles are rejected by
+     * the generation check even after their slot is recycled.
      * @return true if the event was pending and is now cancelled.
      */
     bool cancel(EventId id);
@@ -85,7 +105,11 @@ class EventQueue
     /** Number of pending (non-cancelled) events. */
     std::size_t pending() const { return live_count_; }
 
-    /** Time of the earliest pending event, or kTimeNone when empty. */
+    /**
+     * Time of the earliest pending event, or kTimeNone when empty.
+     * Cancelled events are never reported: cancel() eagerly prunes dead
+     * entries off the top of the heap.
+     */
     Time next_event_time() const;
 
     /**
@@ -120,16 +144,49 @@ class EventQueue
         }
     };
 
-    // The callback map is kept separate from the heap entries so cancel()
-    // is O(1); cancelled entries are skipped lazily at dispatch.
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-    std::vector<std::pair<EventId, Callback>> callbacks_;
+    /**
+     * One callback slot. `gen` is bumped every time the slot is released
+     * (fire or cancel), which invalidates every EventId minted for a
+     * previous occupancy in O(1).
+     */
+    struct Slot {
+        Callback fn;
+        std::uint32_t gen = 1;
+        std::uint32_t next_free = kNullSlot;
+        bool live = false;
+    };
 
-    Callback *find_callback(EventId id);
+    static constexpr std::uint32_t kNullSlot = 0xffffffffu;
+
+    static std::uint32_t slot_of(EventId id)
+    {
+        return std::uint32_t(id);
+    }
+    static std::uint32_t gen_of(EventId id)
+    {
+        return std::uint32_t(id >> 32);
+    }
+    static EventId make_id(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (EventId(gen) << 32) | EventId(slot);
+    }
+
+    bool is_live(EventId id) const;
+    std::uint32_t acquire_slot(Callback fn);
+    Callback release_slot(std::uint32_t slot);
+    void prune_dead_top();
+    void maybe_compact();
+
+    // Min-heap on (when, prio, seq) via the std heap algorithms; a plain
+    // vector (rather than std::priority_queue) so compaction can filter
+    // dead entries in place.
+    std::vector<Entry> heap_;
+    std::vector<Slot> slots_;
+    std::uint32_t free_head_ = kNullSlot;
+    std::size_t heap_dead_ = 0; ///< cancelled entries still in heap_
 
     Time now_ = 0;
     std::uint64_t next_seq_ = 0;
-    std::uint64_t next_id_ = 1;
     std::uint64_t dispatched_ = 0;
     std::size_t live_count_ = 0;
 };

@@ -1,8 +1,10 @@
 #include "sim/stats.h"
 
-#include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <limits>
+
+#include "sim/logging.h"
 
 namespace dvs {
 
@@ -35,9 +37,13 @@ SampleStat::stddev() const
 double
 SampleStat::percentile(double p) const
 {
-    assert(keep_samples_ && "percentile() requires keep_samples");
+    // A release-mode caller querying a stat that never kept its samples
+    // would silently read percentiles of nothing; fail loudly instead of
+    // relying on assert() (a no-op under NDEBUG).
+    if (!keep_samples_)
+        fatal("SampleStat::percentile requires keep_samples=true");
     if (samples_.empty())
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     if (!sorted_) {
         std::sort(samples_.begin(), samples_.end());
         sorted_ = true;

@@ -53,7 +53,10 @@ class SampleStat
 
     /**
      * p-th percentile (p in [0, 100]) by linear interpolation.
-     * @pre constructed with keep_samples = true
+     * Calling without keep_samples = true is a fatal() configuration
+     * error (enforced in release builds too, not just via assert).
+     * @return NaN when no samples have been added — callers reporting an
+     *         empty run must handle it explicitly (see RunReport).
      */
     double percentile(double p) const;
 

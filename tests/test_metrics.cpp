@@ -173,23 +173,47 @@ TEST(Histogram, BinsAndCdf)
     EXPECT_NEAR(h.cdf_at(9), 1.0, 1e-9);
 }
 
-TEST(Histogram, OutOfRangeClampsToEdgeBins)
+TEST(Histogram, OutOfRangeCountedSeparatelyNotClamped)
 {
     Histogram h(0.0, 10.0, 5);
     h.add(-100.0);
     h.add(100.0);
-    EXPECT_EQ(h.bin_count(0), 1u);
-    EXPECT_EQ(h.bin_count(4), 1u);
+    h.add(5.0);
+    // Edge bins hold only in-range mass; the tails are tracked apart.
+    EXPECT_EQ(h.bin_count(0), 0u);
+    EXPECT_EQ(h.bin_count(4), 0u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(), 3u);
 }
 
-TEST(Histogram, CsvHasHeaderAndRows)
+TEST(Histogram, CdfTailReflectsOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    for (int i = 0; i < 9; ++i)
+        h.add(double(i) + 0.5); // 9 in-range samples
+    h.add(50.0);                // 1 overflow
+    // Before the fix the overflow clamped into the last bin and the CDF
+    // reported 1.0 at the right edge; now the tail is honest.
+    EXPECT_NEAR(h.cdf_at(4), 0.9, 1e-9);
+    // Underflow counts toward every edge, keeping interior values exact.
+    Histogram u(0.0, 10.0, 5);
+    u.add(-1.0);
+    u.add(1.0);
+    EXPECT_NEAR(u.cdf_at(0), 1.0, 1e-9);
+}
+
+TEST(Histogram, CsvHasHeaderRowsAndTailCounts)
 {
     Histogram h(0.0, 2.0, 2);
     h.add(0.5);
     h.add(1.5);
+    h.add(9.0);
     const std::string csv = h.to_csv();
     EXPECT_NE(csv.find("bin_right_edge,pdf,cdf"), std::string::npos);
-    EXPECT_NE(csv.find("0.5"), std::string::npos);
+    EXPECT_NE(csv.find("# samples,3"), std::string::npos);
+    EXPECT_NE(csv.find("# underflow,0"), std::string::npos);
+    EXPECT_NE(csv.find("# overflow,1"), std::string::npos);
 }
 
 // ----- reporter ---------------------------------------------------------------------

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/stats.h"
 #include "sim/time.h"
 
@@ -54,6 +56,25 @@ TEST(SampleStat, PercentilesInterpolate)
     EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
     EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
     EXPECT_NEAR(s.percentile(95), 95.05, 0.01);
+}
+
+TEST(SampleStat, PercentileOfEmptySetIsNaN)
+{
+    SampleStat s(/*keep_samples=*/true);
+    EXPECT_TRUE(std::isnan(s.percentile(50)));
+    s.add(1.0);
+    s.reset();
+    EXPECT_TRUE(std::isnan(s.percentile(95)));
+}
+
+TEST(SampleStatDeathTest, PercentileWithoutKeptSamplesIsFatal)
+{
+    SampleStat s(/*keep_samples=*/false);
+    s.add(1.0);
+    // fatal() even in release builds: the old assert() vanished under
+    // NDEBUG and silently returned percentiles of nothing.
+    EXPECT_EXIT(s.percentile(50), ::testing::ExitedWithCode(1),
+                "keep_samples");
 }
 
 TEST(SampleStat, PercentileUnaffectedByInsertionOrder)
