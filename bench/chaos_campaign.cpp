@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Chaos campaign (`BENCH_chaos.json`): N seeds x fault-mix grid x both
+ * architectures through the parallel experiment harness.
+ *
+ * Every point runs the mixed chaos scenario (animation, idle, realtime,
+ * animation) under a deterministic FaultPlan generated from its seed,
+ * with the invariant monitor on and the degradation watchdog armed. The
+ * campaign's acceptance bar: zero invariant violations and zero aborted
+ * runs across the whole grid — faults may cost frames, never
+ * correctness. Any failure replays byte-for-byte from its (seed, mix)
+ * pair.
+ *
+ * Usage: chaos_campaign [--seeds=N] [--jobs=N] [--out=PATH] [--golden]
+ *   --seeds=N    seeds per (mix, mode) cell (default 50)
+ *   --out=PATH   where to write the JSON record (default
+ *                BENCH_chaos.json; "-" suppresses the file)
+ *   --golden     deterministic single-seed replay dump for the golden
+ *                check (prints fault plans + per-run reports, no JSON)
+ *
+ * Exits nonzero when any run violates an invariant or fails.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "fault/fault_plan.h"
+#include "sim/logging.h"
+#include "workload/frame_cost.h"
+
+using namespace dvs;
+using namespace dvs::bench;
+using namespace dvs::time_literals;
+
+namespace {
+
+Scenario
+chaos_scenario()
+{
+    auto cost = std::make_shared<ConstantCostModel>(1_ms, 4_ms);
+    Scenario sc("chaos");
+    sc.animate(600_ms, cost)
+        .idle(100_ms)
+        .realtime(200_ms, cost)
+        .animate(300_ms, cost);
+    return sc;
+}
+
+struct Cell {
+    std::string mix;
+    std::string mode;
+    int runs = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t presents = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t degradations = 0;
+    std::uint64_t repromotions = 0;
+    int errors = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int seeds = 50;
+    bool golden = false;
+    std::string out_path = "BENCH_chaos.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--seeds=", 8) == 0)
+            seeds = std::atoi(argv[i] + 8);
+        else if (std::strncmp(argv[i], "--out=", 6) == 0)
+            out_path = argv[i] + 6;
+        else if (std::strcmp(argv[i], "--golden") == 0)
+            golden = true;
+    }
+    if (seeds < 1)
+        fatal("--seeds must be >= 1");
+    if (golden) {
+        seeds = 1;
+        out_path = "-";
+    }
+
+    const Scenario scenario = chaos_scenario();
+    const Time horizon = scenario.total_duration();
+    const std::vector<FaultMix> mixes = FaultMix::campaign_mixes();
+    const RenderMode modes[] = {RenderMode::kVsync, RenderMode::kDvsync};
+
+    // The grid, mix-major: every (mix, mode) cell holds `seeds` runs.
+    std::vector<Experiment> points;
+    for (const FaultMix &mix : mixes) {
+        if (golden) {
+            std::fputs(
+                FaultPlan::generate(1, horizon, mix).debug_string().c_str(),
+                stdout);
+        }
+        for (RenderMode mode : modes) {
+            for (int s = 0; s < seeds; ++s) {
+                const std::uint64_t seed = std::uint64_t(s) + 1;
+                Experiment point;
+                point.scenario = scenario;
+                point.config =
+                    SystemConfig()
+                        .with_mode(mode)
+                        .with_seed(seed)
+                        .with_faults(std::make_shared<const FaultPlan>(
+                            FaultPlan::generate(seed, horizon, mix)));
+                point.label = mix.name + "/" + to_string(mode) + "/seed" +
+                              std::to_string(seed);
+                points.push_back(std::move(point));
+            }
+        }
+    }
+
+    const ExperimentRunner runner(parse_jobs(argc, argv));
+    const std::vector<RunReport> reports = runner.run(points);
+
+    std::vector<Cell> cells;
+    std::uint64_t total_violations = 0;
+    int total_errors = 0;
+    std::size_t idx = 0;
+    for (const FaultMix &mix : mixes) {
+        for (RenderMode mode : modes) {
+            Cell cell;
+            cell.mix = mix.name;
+            cell.mode = to_string(mode);
+            for (int s = 0; s < seeds; ++s, ++idx) {
+                const RunReport &r = reports[idx];
+                ++cell.runs;
+                cell.violations += r.invariant_violations;
+                cell.faults += r.faults_injected;
+                cell.presents += r.presents;
+                cell.drops += r.drops;
+                cell.degradations += r.degradations;
+                cell.repromotions += r.repromotions;
+                if (!r.error.empty()) {
+                    ++cell.errors;
+                    std::printf("ERROR %s: %s\n", r.label.c_str(),
+                                r.error.c_str());
+                }
+                if (r.invariant_violations > 0) {
+                    std::printf("VIOLATIONS %s: %llu\n", r.label.c_str(),
+                                (unsigned long long)r.invariant_violations);
+                }
+                if (golden)
+                    std::printf("%s\n", r.debug_string().c_str());
+            }
+            total_violations += cell.violations;
+            total_errors += cell.errors;
+            cells.push_back(cell);
+        }
+    }
+
+    std::printf("chaos campaign: %d seeds x %zu mixes x 2 modes "
+                "(%zu runs)\n\n",
+                seeds, mixes.size(), points.size());
+    std::printf("%-11s %-9s %5s %10s %8s %9s %7s %8s %6s\n", "mix", "mode",
+                "runs", "violations", "faults", "presents", "drops",
+                "degrades", "errs");
+    for (const Cell &c : cells) {
+        std::printf("%-11s %-9s %5d %10llu %8llu %9llu %7llu %8llu %6d\n",
+                    c.mix.c_str(), c.mode.c_str(), c.runs,
+                    (unsigned long long)c.violations,
+                    (unsigned long long)c.faults,
+                    (unsigned long long)c.presents,
+                    (unsigned long long)c.drops,
+                    (unsigned long long)c.degradations, c.errors);
+    }
+    std::printf("\ntotal: %llu violations, %d failed runs\n",
+                (unsigned long long)total_violations, total_errors);
+
+    if (out_path != "-") {
+        FILE *f = std::fopen(out_path.c_str(), "w");
+        if (!f)
+            fatal("cannot write %s", out_path.c_str());
+        std::fprintf(f,
+                     "{\n"
+                     "  \"bench\": \"chaos_campaign\",\n"
+                     "  \"seeds\": %d,\n"
+                     "  \"runs\": %zu,\n"
+                     "  \"total_violations\": %llu,\n"
+                     "  \"failed_runs\": %d,\n"
+                     "  \"cells\": [\n",
+                     seeds, points.size(),
+                     (unsigned long long)total_violations, total_errors);
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const Cell &c = cells[i];
+            std::fprintf(
+                f,
+                "    {\"mix\": \"%s\", \"mode\": \"%s\", \"runs\": %d, "
+                "\"violations\": %llu, \"faults\": %llu, "
+                "\"presents\": %llu, \"drops\": %llu, "
+                "\"degradations\": %llu, \"repromotions\": %llu, "
+                "\"errors\": %d}%s\n",
+                c.mix.c_str(), c.mode.c_str(), c.runs,
+                (unsigned long long)c.violations,
+                (unsigned long long)c.faults,
+                (unsigned long long)c.presents,
+                (unsigned long long)c.drops,
+                (unsigned long long)c.degradations,
+                (unsigned long long)c.repromotions, c.errors,
+                i + 1 < cells.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("chaos record written to %s\n", out_path.c_str());
+    }
+
+    if (total_violations > 0 || total_errors > 0) {
+        std::printf("CHAOS CAMPAIGN FAILED\n");
+        return 1;
+    }
+    return 0;
+}

@@ -17,6 +17,7 @@ for golden in bench/goldens/*.txt; do
     name="$(basename "$golden" .txt)"
     case "$name" in
         perf_sim_core.checksums) continue ;;
+        chaos_campaign.golden) continue ;;
     esac
     bin="$BENCH_DIR/$name"
     if [[ ! -x "$bin" ]]; then
@@ -45,6 +46,21 @@ else
     echo "DIFF     perf_sim_core (dispatch checksums)"
     diff bench/goldens/perf_sim_core.checksums.txt \
          "$TMP/perf_sim_core.checksums.txt" || true
+    fail=1
+fi
+
+# chaos_campaign: the bare binary runs the full 50-seed campaign, so the
+# golden pins the deterministic --golden replay (seed-1 fault plans plus
+# per-run reports for every mix/mode cell) instead.
+"$BENCH_DIR/chaos_campaign" --golden --jobs=1 \
+    > "$TMP/chaos_campaign.golden.txt" 2>&1
+if cmp -s bench/goldens/chaos_campaign.golden.txt \
+          "$TMP/chaos_campaign.golden.txt"; then
+    echo "OK       chaos_campaign (golden replay)"
+else
+    echo "DIFF     chaos_campaign (golden replay)"
+    diff bench/goldens/chaos_campaign.golden.txt \
+         "$TMP/chaos_campaign.golden.txt" | head -20 || true
     fail=1
 fi
 

@@ -28,3 +28,9 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 cmake -B "$BUILD_DIR" -S . -DDVS_WERROR=ON -DDVS_SANITIZE="$SANITIZE"
 cmake --build "$BUILD_DIR" -j"$JOBS"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j"$JOBS")
+
+# Chaos smoke: a small seeded fault-injection campaign must finish with
+# zero invariant violations and zero failed runs (nonzero exit
+# otherwise). Runs in both the plain and the sanitized build — the fault
+# paths are exactly where sanitizers earn their keep.
+"$BUILD_DIR/bench/chaos_campaign" --seeds=5 --out=-

@@ -38,6 +38,8 @@ BufferQueue::try_dequeue(Time now)
 {
     if (free_.empty())
         return nullptr;
+    if (alloc_fault_ && alloc_fault_(now))
+        return nullptr;
     FrameBuffer *buf = free_.front();
     free_.pop_front();
     assert(buf->state_ == BufferState::kFree);
@@ -69,6 +71,8 @@ FrameBuffer *
 BufferQueue::acquire(Time now)
 {
     if (queued_.empty())
+        return nullptr;
+    if (stall_fault_ && stall_fault_(now))
         return nullptr;
     FrameBuffer *next = queued_.front();
     queued_.pop_front();

@@ -94,6 +94,36 @@ class BufferQueue
     void on_slot_free(std::function<void()> cb) { on_free_ = std::move(cb); }
 
     /**
+     * Fire the slot-free callback without freeing anything: a retry kick
+     * for producers parked by a transient allocation fault (the fault
+     * injector calls this when an allocation-failure window closes).
+     */
+    void notify_free()
+    {
+        if (on_free_)
+            on_free_();
+    }
+
+    // ----- fault-injection hooks (src/fault) ---------------------------
+
+    /**
+     * Allocation-failure fault: while the hook returns true, try_dequeue
+     * fails even when free slots exist (transient allocator pressure).
+     * Pair with notify_free() at window end or the producer stays parked.
+     */
+    using AllocFault = std::function<bool(Time)>;
+    void set_alloc_fault(AllocFault fn) { alloc_fault_ = std::move(fn); }
+
+    /**
+     * Transient consumer stall: while the hook returns true, acquire()
+     * refuses to latch (the screen repeats its front buffer), modelling a
+     * stalled consumer/HWC. Clears itself when the window ends — the next
+     * vsync edge latches normally.
+     */
+    using StallFault = std::function<bool(Time)>;
+    void set_stall_fault(StallFault fn) { stall_fault_ = std::move(fn); }
+
+    /**
      * Grow or shrink the total capacity at runtime (decoupling-aware API:
      * pre-render limit reconfiguration). Shrinking below the number of
      * in-use slots takes effect lazily as buffers free up.
@@ -116,6 +146,8 @@ class BufferQueue
     std::deque<FrameBuffer *> queued_;
     FrameBuffer *front_ = nullptr;
     std::function<void()> on_free_;
+    AllocFault alloc_fault_;
+    StallFault stall_fault_;
     int pending_shrink_ = 0;
 };
 

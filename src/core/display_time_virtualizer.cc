@@ -78,6 +78,14 @@ DisplayTimeVirtualizer::peek_next(int frames_ahead) const
 }
 
 void
+DisplayTimeVirtualizer::resync()
+{
+    last_promised_ = kTimeNone;
+    pending_.clear();
+    ++resyncs_;
+}
+
+void
 DisplayTimeVirtualizer::on_present(const PresentEvent &ev)
 {
     const Time period = model_.period();

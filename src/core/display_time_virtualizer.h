@@ -75,6 +75,15 @@ class DisplayTimeVirtualizer
     /** Listener for drop-elasticity slips. */
     void set_slip_listener(SlipListener fn) { on_slip_ = std::move(fn); }
 
+    /**
+     * Drop the promise chain and outstanding promises, keeping the vsync
+     * model and the fence floor (both still track hardware truth). Used
+     * by the degradation path after a long stall, when the chain refers
+     * to a timeline segment that no longer exists: the next promise
+     * re-anchors from the fence floor and the predicted next edge.
+     */
+    void resync();
+
     // ----- introspection / stats ---------------------------------------
 
     /** Promises issued so far. */
@@ -88,6 +97,12 @@ class DisplayTimeVirtualizer
 
     /** Calibration samples consumed from the hardware. */
     std::uint64_t calibrations() const { return calibrations_; }
+
+    /** Times resync() dropped the promise chain. */
+    std::uint64_t resyncs() const { return resyncs_; }
+
+    /** Promised display timestamps not yet matched by a present. */
+    std::size_t pending_promises() const { return pending_.size(); }
 
   private:
     void on_edge(const VsyncEdge &edge);
@@ -106,6 +121,7 @@ class DisplayTimeVirtualizer
     std::uint64_t promises_ = 0;
     std::uint64_t slips_ = 0;
     std::uint64_t calibrations_ = 0;
+    std::uint64_t resyncs_ = 0;
     SampleStat promise_error_;
     SlipListener on_slip_;
 };

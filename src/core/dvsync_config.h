@@ -41,6 +41,42 @@ struct DvsyncConfig {
      */
     Time predictor_overhead = 151'600;
 
+    // ----- degradation watchdog (robustness) ---------------------------
+    //
+    // Thresholds of the runtime's graceful-degradation policy (see
+    // DvsyncRuntime::attach_watchdog). Expressed in refresh periods where
+    // a time is involved, so the policy survives LTPO rate switches.
+
+    /**
+     * Degrade when this many invariant violations land within
+     * watchdog_pressure_window. <= 0 disables the pressure trigger.
+     */
+    int watchdog_pressure_threshold = 3;
+
+    /** Window for counting recent invariant violations. */
+    Time watchdog_pressure_window = 50'000'000; // 50 ms
+
+    /**
+     * Degrade when the gap between consecutive present-fence events
+     * exceeds this many periods (the display stalled: screen off, HW
+     * vsync lost, or the pipeline wedged).
+     */
+    double watchdog_stall_periods = 8.0;
+
+    /**
+     * Degrade when this many consecutive pre-rendered frames present
+     * more than watchdog_desync_periods away from their D-Timestamp
+     * (DTV's promise chain lost the real timeline).
+     */
+    double watchdog_desync_periods = 4.0;
+    int watchdog_desync_streak = 5;
+
+    /**
+     * Re-promote to D-VSync after this many consecutive stable presents
+     * (no stall-sized gap, no new invariant violations).
+     */
+    int watchdog_stable_presents = 32;
+
     /** Validate and return a normalized copy. */
     DvsyncConfig normalized() const;
 };

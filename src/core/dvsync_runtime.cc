@@ -1,6 +1,9 @@
 #include "core/dvsync_runtime.h"
 
+#include <cmath>
+
 #include "core/frame_pre_executor.h"
+#include "fault/invariant_monitor.h"
 #include "sim/logging.h"
 
 namespace dvs {
@@ -85,6 +88,118 @@ int
 DvsyncRuntime::prerender_limit() const
 {
     return fpe_ ? fpe_->prerender_limit() : config_.prerender_limit;
+}
+
+void
+DvsyncRuntime::attach_watchdog(Panel &panel, const InvariantMonitor *monitor)
+{
+    if (!dtv_)
+        fatal("attach_watchdog before bind()");
+    if (watchdog_armed_)
+        fatal("attach_watchdog called twice");
+    watchdog_armed_ = true;
+    monitor_ = monitor;
+    // Registered after the DTV's and the monitor's present listeners, so
+    // a present's own violations are already recorded when the pressure
+    // check runs.
+    panel.add_present_listener(
+        [this](const PresentEvent &ev) { on_watchdog_present(ev); });
+}
+
+void
+DvsyncRuntime::on_watchdog_present(const PresentEvent &ev)
+{
+    const double period = double(dtv_->period());
+    const Time prev = wd_last_present_;
+    wd_last_present_ = ev.present_time;
+    const bool stalled =
+        prev != kTimeNone &&
+        double(ev.present_time - prev) >
+            config_.watchdog_stall_periods * period;
+
+    if (!degraded_) {
+        const char *reason = nullptr;
+        std::string detail;
+        if (config_.watchdog_pressure_threshold > 0 && monitor_) {
+            const std::uint64_t recent = monitor_->violations_since(
+                ev.present_time - config_.watchdog_pressure_window);
+            if (recent >= std::uint64_t(config_.watchdog_pressure_threshold)) {
+                reason = "invariant-pressure";
+                detail = std::to_string(recent) + " recent violations";
+            }
+        }
+        if (!reason && stalled) {
+            reason = "display-stall";
+            detail = std::to_string(ev.present_time - prev) +
+                     " ns since last present";
+        }
+        if (!reason && !ev.repeat && ev.meta.pre_rendered &&
+            ev.meta.content_timestamp != kTimeNone) {
+            const double err = std::abs(
+                double(ev.present_time - ev.meta.content_timestamp));
+            if (err > config_.watchdog_desync_periods * period) {
+                if (++desync_streak_ >= config_.watchdog_desync_streak) {
+                    reason = "dtv-desync";
+                    detail = std::to_string(desync_streak_) +
+                             " consecutive off-promise presents";
+                }
+            } else {
+                desync_streak_ = 0;
+            }
+        } else if (!ev.repeat) {
+            desync_streak_ = 0;
+        }
+        if (reason)
+            degrade(ev.present_time, reason, detail);
+        return;
+    }
+
+    // Degraded: wait for the pipeline to prove itself stable again.
+    bool stable = !stalled;
+    const std::uint64_t seen = monitor_ ? monitor_->violations() : 0;
+    if (seen != streak_violation_base_) {
+        streak_violation_base_ = seen;
+        stable = false;
+    }
+    stable_streak_ = stable ? stable_streak_ + 1 : 0;
+    if (stable_streak_ >= config_.watchdog_stable_presents)
+        repromote(ev.present_time);
+}
+
+void
+DvsyncRuntime::degrade(Time now, const char *reason,
+                       const std::string &detail)
+{
+    degraded_ = true;
+    ++degradations_;
+    enabled_ = false; // FPE falls back to conventional VSync pacing
+    // The promise chain refers to a timeline segment that no longer
+    // matches reality; drop it so re-promotion re-anchors cleanly.
+    dtv_->resync();
+    desync_streak_ = 0;
+    stable_streak_ = 0;
+    streak_violation_base_ = monitor_ ? monitor_->violations() : 0;
+    record_transition("t=" + std::to_string(now) + " degrade [" + reason +
+                      "] " + detail + " -> VSync pacing, DTV resync");
+}
+
+void
+DvsyncRuntime::repromote(Time now)
+{
+    degraded_ = false;
+    ++repromotions_;
+    enabled_ = true;
+    stable_streak_ = 0;
+    record_transition("t=" + std::to_string(now) + " repromote after " +
+                      std::to_string(config_.watchdog_stable_presents) +
+                      " stable presents -> D-VSync");
+}
+
+void
+DvsyncRuntime::record_transition(std::string line)
+{
+    if (int(transitions_.size()) < kMaxTransitions)
+        transitions_.push_back(std::move(line));
 }
 
 Time

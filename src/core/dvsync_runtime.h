@@ -19,8 +19,10 @@
 #ifndef DVS_CORE_DVSYNC_RUNTIME_H
 #define DVS_CORE_DVSYNC_RUNTIME_H
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "buffer/buffer_queue.h"
 #include "core/display_time_virtualizer.h"
@@ -31,6 +33,7 @@
 namespace dvs {
 
 class FramePreExecutor;
+class InvariantMonitor;
 
 /**
  * Runtime controller + public API surface of D-VSync.
@@ -51,6 +54,40 @@ class DvsyncRuntime
 
     bool enabled() const { return enabled_; }
     void set_enabled(bool on) { enabled_ = on; }
+
+    // ----- graceful degradation (robustness) ---------------------------
+
+    /**
+     * Arm the degradation watchdog: on every present-fence event the
+     * runtime checks for sustained invariant pressure (via @p monitor,
+     * may be null), display stalls, and DTV desync. When a trigger fires
+     * it *degrades* — switches D-VSync off so the FPE falls back to
+     * conventional VSync pacing — and resyncs the DTV promise chain.
+     * After watchdog_stable_presents clean presents it *re-promotes*
+     * back to decoupled operation. Call after bind(); thresholds come
+     * from DvsyncConfig. Off unless attached.
+     */
+    void attach_watchdog(Panel &panel, const InvariantMonitor *monitor);
+
+    /** Currently running on the VSync fallback path? */
+    bool degraded() const { return degraded_; }
+
+    /** D-VSync -> VSync fall-backs performed by the watchdog. */
+    std::uint64_t degradations() const { return degradations_; }
+
+    /** VSync -> D-VSync re-promotions performed by the watchdog. */
+    std::uint64_t repromotions() const { return repromotions_; }
+
+    /**
+     * Human-readable degrade/re-promote transition log ("t=<ns> ..."),
+     * surfaced as RunReport::timeline. Capped at kMaxTransitions.
+     */
+    const std::vector<std::string> &transitions() const
+    {
+        return transitions_;
+    }
+
+    static constexpr int kMaxTransitions = 256;
 
     // ----- decoupling decision (oblivious channel) ----------------------
 
@@ -90,6 +127,11 @@ class DvsyncRuntime
     const DvsyncConfig &config() const { return config_; }
 
   private:
+    void on_watchdog_present(const PresentEvent &ev);
+    void degrade(Time now, const char *reason, const std::string &detail);
+    void repromote(Time now);
+    void record_transition(std::string line);
+
     DvsyncConfig config_;
     bool enabled_ = true;
     InputPredictionLayer ipl_;
@@ -98,6 +140,18 @@ class DvsyncRuntime
     DisplayTimeVirtualizer *dtv_ = nullptr;
     FramePreExecutor *fpe_ = nullptr;
     BufferQueue *queue_ = nullptr;
+
+    // ----- watchdog state ----------------------------------------------
+    bool watchdog_armed_ = false;
+    const InvariantMonitor *monitor_ = nullptr;
+    bool degraded_ = false;
+    std::uint64_t degradations_ = 0;
+    std::uint64_t repromotions_ = 0;
+    Time wd_last_present_ = kTimeNone;
+    int desync_streak_ = 0;
+    int stable_streak_ = 0;
+    std::uint64_t streak_violation_base_ = 0;
+    std::vector<std::string> transitions_;
 };
 
 } // namespace dvs

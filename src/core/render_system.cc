@@ -72,6 +72,25 @@ RenderSystem::RenderSystem(const SystemConfig &config, Scenario scenario)
     }
 
     stats_ = std::make_unique<FrameStats>(*producer_, *panel_);
+
+    if (config.monitor_invariants) {
+        monitor_ = std::make_unique<InvariantMonitor>();
+        // The FPE's limit bounds accumulated (queued) pre-rendered
+        // buffers; one frame in flight when the limit was checked may
+        // land on top, hence +1. VSync/paced runs have no depth bound.
+        const int depth = config.mode == RenderMode::kDvsync
+                              ? prerender_limit() + 1
+                              : 0;
+        monitor_->attach(*producer_, *panel_, depth);
+    }
+    if (config.faults) {
+        injector_ = std::make_unique<FaultInjector>(sim_, config.faults);
+        injector_->arm(*hw_, *queue_, *compositor_, *producer_);
+    }
+    // Chaos runs always get the safety net; outside them it is opt-in so
+    // fault-free goldens keep their exact behavior.
+    if (runtime_ && (config.watchdog || config.faults))
+        runtime_->attach_watchdog(*panel_, monitor_.get());
 }
 
 RenderSystem::~RenderSystem() = default;
@@ -91,6 +110,8 @@ RenderSystem::run()
     const Time tail = Time(buffers_ + 4) * config_.device.period();
     sim_.run_until(producer_->scenario().total_duration() + tail);
     hw_->stop();
+    if (monitor_)
+        monitor_->finalize(sim_.now());
     return report();
 }
 
@@ -136,6 +157,18 @@ RenderSystem::report() const
     r.pipeline_busy_s = to_seconds(r.activity.pipeline_busy);
     r.frames_produced = r.activity.frames_produced;
     r.predicted_frames = r.activity.predicted_frames;
+
+    if (monitor_)
+        r.invariant_violations = monitor_->violations();
+    if (injector_)
+        r.faults_injected = injector_->injected_total();
+    if (runtime_) {
+        r.degradations = runtime_->degradations();
+        r.repromotions = runtime_->repromotions();
+        r.timeline = runtime_->transitions();
+    }
+    if (dtv_)
+        r.dtv_resyncs = dtv_->resyncs();
     return r;
 }
 

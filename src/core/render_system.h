@@ -22,6 +22,9 @@
 #include "display/device_config.h"
 #include "display/hw_vsync.h"
 #include "display/panel.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "fault/invariant_monitor.h"
 #include "metrics/frame_stats.h"
 #include "metrics/power_model.h"
 #include "metrics/run_report.h"
@@ -79,6 +82,21 @@ struct SystemConfig {
 
     /** Swap-interval pacing knobs (kPaced mode only). */
     SwapIntervalConfig pacing;
+
+    /**
+     * Fault-injection plan for chaos runs; null = no injection. Shared
+     * so a sweep can replay one plan across many configurations.
+     */
+    std::shared_ptr<const FaultPlan> faults;
+
+    /** Run the always-on invariant monitor (passive; cheap). */
+    bool monitor_invariants = true;
+
+    /**
+     * Arm the degradation watchdog on the D-VSync runtime. Also armed
+     * automatically whenever a fault plan is installed.
+     */
+    bool watchdog = false;
 
     SystemConfig() : device(pixel5()) {}
 
@@ -147,6 +165,21 @@ struct SystemConfig {
         pacing = p;
         return *this;
     }
+    SystemConfig &with_faults(std::shared_ptr<const FaultPlan> plan)
+    {
+        faults = std::move(plan);
+        return *this;
+    }
+    SystemConfig &with_monitor_invariants(bool on)
+    {
+        monitor_invariants = on;
+        return *this;
+    }
+    SystemConfig &with_watchdog(bool on)
+    {
+        watchdog = on;
+        return *this;
+    }
 };
 
 /**
@@ -194,6 +227,13 @@ class RenderSystem
     /** The swap-interval pacer; null unless mode == kPaced. */
     SwapIntervalPacer *pacer() { return swap_pacer_.get(); }
 
+    /** Invariant monitor; null when monitor_invariants is off. */
+    InvariantMonitor *monitor() { return monitor_.get(); }
+    const InvariantMonitor *monitor() const { return monitor_.get(); }
+
+    /** Fault injector; null unless a plan was installed. */
+    FaultInjector *fault_injector() { return injector_.get(); }
+
     /** Activity summary for the power model. */
     RunActivity activity() const;
 
@@ -226,6 +266,8 @@ class RenderSystem
     std::unique_ptr<DisplayTimeVirtualizer> dtv_;
     std::unique_ptr<FramePreExecutor> fpe_;
     std::unique_ptr<FrameStats> stats_;
+    std::unique_ptr<InvariantMonitor> monitor_;
+    std::unique_ptr<FaultInjector> injector_;
     bool ran_ = false;
 };
 

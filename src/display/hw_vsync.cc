@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/logging.h"
+
 namespace dvs {
 
 HwVsyncGenerator::HwVsyncGenerator(Simulator &sim, double rate_hz,
@@ -13,6 +15,11 @@ HwVsyncGenerator::HwVsyncGenerator(Simulator &sim, double rate_hz,
 void
 HwVsyncGenerator::set_jitter(Time stddev, Rng *rng)
 {
+    if (stddev < 0)
+        fatal("vsync jitter stddev must be >= 0, got %lld",
+              (long long)stddev);
+    if (stddev > 0 && !rng)
+        fatal("vsync jitter needs an RNG when stddev > 0");
     jitter_stddev_ = stddev;
     jitter_rng_ = rng;
 }
@@ -76,10 +83,20 @@ HwVsyncGenerator::emit_edge()
         edge.rate_hz = new_rate;
     }
 
-    for (auto &fn : listeners_)
-        fn(edge);
+    // An edge-loss fault suppresses this edge's notifications (the panel
+    // misses the refresh) but never the grid: the next edge still comes.
+    if (!edge_fault_ || !edge_fault_(edge)) {
+        for (auto &fn : listeners_)
+            fn(edge);
+    }
 
-    next_edge_ = ideal + timing_.period();
+    Time step = timing_.period();
+    if (period_scale_) {
+        const double scale = period_scale_(now);
+        if (scale > 0.0 && scale != 1.0)
+            step = Time(double(step) * scale);
+    }
+    next_edge_ = ideal + step;
     sim_.events().schedule(jittered(next_edge_), [this] { emit_edge(); },
                            EventPriority::kDisplay);
 }

@@ -59,8 +59,43 @@ class HwVsyncGenerator
      * Add Gaussian timing jitter to emitted edges (real panels wander by
      * tens of microseconds). Draws are clamped to ±3σ and the ideal grid
      * is preserved, so jitter never accumulates.
+     *
+     * Edge ordering under jitter: a jittered emission time is clamped to
+     * the simulator's `now()` at scheduling time, so an edge never fires
+     * before the edge that scheduled it — emitted timestamps are
+     * monotonic as long as 3σ stays below half a period (the generator
+     * never reorders the grid, only perturbs each edge around it). The
+     * same clamp makes a restart after stop() safe: the first resumed
+     * edge lands on the grid at or after the restart instant, never in
+     * the past.
+     *
+     * A stddev of 0 disables jitter. Negative stddev is a configuration
+     * error, as is a positive stddev without an RNG.
      */
     void set_jitter(Time stddev, Rng *rng);
+
+    // ----- fault-injection hooks (src/fault) ---------------------------
+
+    /**
+     * Edge-loss fault hook: consulted per edge; returning true suppresses
+     * listener notification for that edge (the panel misses a refresh,
+     * software consumers see no tick) while the grid keeps advancing —
+     * modelling a lost HW-VSync interrupt.
+     */
+    using EdgeFault = std::function<bool(const VsyncEdge &)>;
+    void set_edge_fault(EdgeFault fn) { edge_fault_ = std::move(fn); }
+
+    /**
+     * Clock-drift fault hook: scale factor applied to the grid step after
+     * each edge (1.0 = nominal). Sustained scaling accumulates phase
+     * drift, exactly like a skewed panel oscillator; DTV must recalibrate
+     * its model to follow.
+     */
+    using PeriodScale = std::function<double(Time)>;
+    void set_period_scale(PeriodScale fn)
+    {
+        period_scale_ = std::move(fn);
+    }
 
     /** Start emitting edges. */
     void start();
@@ -89,6 +124,8 @@ class HwVsyncGenerator
     Rng *jitter_rng_ = nullptr;
     std::vector<Listener> listeners_;
     RatePolicy rate_policy_;
+    EdgeFault edge_fault_;
+    PeriodScale period_scale_;
     double requested_rate_ = 0.0;
     std::uint64_t edge_index_ = 0;
     Time next_edge_;

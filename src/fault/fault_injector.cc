@@ -1,0 +1,119 @@
+#include "fault/fault_injector.h"
+
+#include "sim/logging.h"
+
+namespace dvs {
+
+FaultInjector::FaultInjector(Simulator &sim,
+                             std::shared_ptr<const FaultPlan> plan)
+    : sim_(sim), plan_(std::move(plan))
+{
+    if (!plan_)
+        fatal("FaultInjector needs a plan");
+}
+
+std::uint64_t
+FaultInjector::injected_total() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : counts_)
+        sum += c;
+    return sum;
+}
+
+void
+FaultInjector::arm(HwVsyncGenerator &hw, BufferQueue &queue,
+                   Compositor &compositor, Producer &producer)
+{
+    if (armed_)
+        panic("FaultInjector::arm called twice");
+    armed_ = true;
+    const FaultPlan *plan = plan_.get();
+
+    hw.set_edge_fault([this, plan](const VsyncEdge &edge) {
+        if (!plan->active(FaultKind::kVsyncEdgeLoss, edge.timestamp))
+            return false;
+        ++counts_[std::size_t(FaultKind::kVsyncEdgeLoss)];
+        return true;
+    });
+    hw.set_period_scale([this, plan](Time now) {
+        const double mag = plan->magnitude(FaultKind::kClockDrift, now);
+        if (mag <= 0.0)
+            return 1.0;
+        ++counts_[std::size_t(FaultKind::kClockDrift)];
+        return mag;
+    });
+
+    // Thermal throttle slows every compute stage; a GPU hang adds a
+    // fixed stall to GPU jobs on top of any throttle in force.
+    auto throttle = [this, plan](Time now, Time duration) {
+        const double mag =
+            plan->magnitude(FaultKind::kThermalThrottle, now);
+        if (mag <= 1.0)
+            return duration;
+        ++counts_[std::size_t(FaultKind::kThermalThrottle)];
+        return Time(double(duration) * mag);
+    };
+    producer.ui_thread().set_cost_transform(throttle);
+    producer.render_thread().set_cost_transform(throttle);
+    producer.gpu().set_cost_transform(
+        [this, plan, throttle](Time now, Time duration) {
+            duration = throttle(now, duration);
+            const double hang =
+                plan->magnitude(FaultKind::kGpuHang, now);
+            if (hang > 0.0) {
+                ++counts_[std::size_t(FaultKind::kGpuHang)];
+                duration += Time(hang);
+            }
+            return duration;
+        });
+
+    queue.set_alloc_fault([this, plan](Time now) {
+        if (!plan->active(FaultKind::kBufferAllocFail, now))
+            return false;
+        ++counts_[std::size_t(FaultKind::kBufferAllocFail)];
+        return true;
+    });
+    queue.set_stall_fault([this, plan](Time now) {
+        if (!plan->active(FaultKind::kQueueStall, now))
+            return false;
+        ++counts_[std::size_t(FaultKind::kQueueStall)];
+        return true;
+    });
+    compositor.set_forced_miss([this, plan](Time now) {
+        if (!plan->active(FaultKind::kDeadlineMiss, now))
+            return false;
+        ++counts_[std::size_t(FaultKind::kDeadlineMiss)];
+        return true;
+    });
+
+    // Scheduled work the hooks cannot express.
+    for (const FaultWindow &w : plan->windows()) {
+        switch (w.kind) {
+          case FaultKind::kBufferAllocFail:
+            // A producer parked on a failed allocation is only woken by
+            // a freed slot; kick a retry when the window closes so a
+            // quiet queue cannot wedge it forever.
+            sim_.events().schedule(w.end + 1,
+                                   [&queue] { queue.notify_free(); });
+            break;
+          case FaultKind::kInputBurst: {
+            // A burst of input delivery steals UI-thread time at a
+            // 2 ms cadence across the window, delaying frame UI stages
+            // like a flood of MotionEvents would.
+            const Time burst_cost = Time(w.magnitude);
+            for (Time t = w.start; t < w.end; t += 2'000'000) {
+                sim_.events().schedule(t, [this, &producer, burst_cost] {
+                    ++counts_[std::size_t(FaultKind::kInputBurst)];
+                    producer.ui_thread().run(burst_cost, [] {});
+                });
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace dvs

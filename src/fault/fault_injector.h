@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fault injector: binds a FaultPlan to a live pipeline.
+ *
+ * arm() installs the plan on the component fault hooks — HW-VSync edge
+ * loss and clock drift on the generator, thermal-throttle and GPU-hang
+ * cost transforms on the execution resources, allocation failures and
+ * consumer stalls on the buffer queue, forced latch misses on the
+ * compositor — and schedules the active event work the hooks cannot
+ * express (input-burst UI jobs, producer retry kicks when an
+ * allocation-failure window closes).
+ *
+ * Injection is deterministic: hooks only read the plan and the virtual
+ * clock, so a run with the same seed replays byte-for-byte.
+ */
+
+#ifndef DVS_FAULT_FAULT_INJECTOR_H
+#define DVS_FAULT_FAULT_INJECTOR_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "buffer/buffer_queue.h"
+#include "display/hw_vsync.h"
+#include "fault/fault_plan.h"
+#include "pipeline/compositor.h"
+#include "pipeline/producer.h"
+#include "sim/simulator.h"
+
+namespace dvs {
+
+/**
+ * Owns the plan bindings for one run. Must outlive the simulation.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(Simulator &sim, std::shared_ptr<const FaultPlan> plan);
+
+    /** Install every hook; call once, before the run starts. */
+    void arm(HwVsyncGenerator &hw, BufferQueue &queue,
+             Compositor &compositor, Producer &producer);
+
+    const FaultPlan &plan() const { return *plan_; }
+
+    /** Times a fault of @p kind actually fired (hook hit in a window). */
+    std::uint64_t injected(FaultKind kind) const
+    {
+        return counts_[std::size_t(kind)];
+    }
+
+    /** Total fault activations across all kinds. */
+    std::uint64_t injected_total() const;
+
+  private:
+    Simulator &sim_;
+    std::shared_ptr<const FaultPlan> plan_;
+    std::array<std::uint64_t, kFaultKindCount> counts_{};
+    bool armed_ = false;
+};
+
+} // namespace dvs
+
+#endif // DVS_FAULT_FAULT_INJECTOR_H

@@ -1,0 +1,206 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.h"
+#include "sim/random.h"
+
+namespace dvs {
+
+const char *
+to_string(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::kVsyncEdgeLoss:
+        return "vsync-edge-loss";
+      case FaultKind::kClockDrift:
+        return "clock-drift";
+      case FaultKind::kGpuHang:
+        return "gpu-hang";
+      case FaultKind::kThermalThrottle:
+        return "thermal-throttle";
+      case FaultKind::kBufferAllocFail:
+        return "buffer-alloc-fail";
+      case FaultKind::kQueueStall:
+        return "queue-stall";
+      case FaultKind::kDeadlineMiss:
+        return "deadline-miss";
+      case FaultKind::kInputBurst:
+        return "input-burst";
+    }
+    return "?";
+}
+
+FaultMix
+FaultMix::display()
+{
+    return {"display",
+            {FaultKind::kVsyncEdgeLoss, FaultKind::kClockDrift},
+            3};
+}
+
+FaultMix
+FaultMix::compute()
+{
+    return {"compute",
+            {FaultKind::kGpuHang, FaultKind::kThermalThrottle},
+            3};
+}
+
+FaultMix
+FaultMix::memory()
+{
+    return {"memory",
+            {FaultKind::kBufferAllocFail, FaultKind::kQueueStall},
+            3};
+}
+
+FaultMix
+FaultMix::scheduler()
+{
+    return {"scheduler",
+            {FaultKind::kDeadlineMiss, FaultKind::kInputBurst},
+            3};
+}
+
+FaultMix
+FaultMix::everything()
+{
+    return {"everything",
+            {FaultKind::kVsyncEdgeLoss, FaultKind::kClockDrift,
+             FaultKind::kGpuHang, FaultKind::kThermalThrottle,
+             FaultKind::kBufferAllocFail, FaultKind::kQueueStall,
+             FaultKind::kDeadlineMiss, FaultKind::kInputBurst},
+            2};
+}
+
+std::vector<FaultMix>
+FaultMix::campaign_mixes()
+{
+    return {display(), compute(), memory(), scheduler(), everything()};
+}
+
+namespace {
+
+/** Per-kind window length range, in ns. */
+void
+length_range(FaultKind kind, Time &lo, Time &hi)
+{
+    switch (kind) {
+      case FaultKind::kClockDrift:
+      case FaultKind::kThermalThrottle:
+        lo = 100'000'000; // sustained conditions: 100-300 ms
+        hi = 300'000'000;
+        return;
+      case FaultKind::kGpuHang:
+        lo = 20'000'000; // a hang is short but brutal
+        hi = 60'000'000;
+        return;
+      default:
+        lo = 30'000'000; // transient glitches: 30-120 ms
+        hi = 120'000'000;
+        return;
+    }
+}
+
+double
+draw_magnitude(FaultKind kind, Rng &rng)
+{
+    switch (kind) {
+      case FaultKind::kClockDrift:
+        // ±2% oscillator skew, never exactly 1.0.
+        return rng.chance(0.5) ? rng.uniform(0.98, 0.995)
+                               : rng.uniform(1.005, 1.02);
+      case FaultKind::kGpuHang:
+        return rng.uniform(10e6, 40e6); // 10-40 ms stall per job
+      case FaultKind::kThermalThrottle:
+        return rng.uniform(1.3, 2.5); // 1.3-2.5x slowdown
+      case FaultKind::kInputBurst:
+        return rng.uniform(0.5e6, 2e6); // 0.5-2 ms of UI work per burst
+      default:
+        return 0.0;
+    }
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::generate(std::uint64_t seed, Time horizon, const FaultMix &mix)
+{
+    if (horizon <= 0)
+        fatal("fault plan horizon must be > 0, got %lld",
+              (long long)horizon);
+    FaultPlan plan;
+    plan.seed_ = seed;
+    plan.mix_name_ = mix.name;
+
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 0xfau);
+    // Kinds iterate in mix order and windows draw in sequence, so the
+    // plan is a pure function of (seed, horizon, mix).
+    for (FaultKind kind : mix.kinds) {
+        Time lo = 0, hi = 0;
+        length_range(kind, lo, hi);
+        for (int i = 0; i < mix.windows_per_kind; ++i) {
+            FaultWindow w;
+            w.kind = kind;
+            w.start = Time(rng.uniform_int(0, (horizon * 9) / 10));
+            const Time len = Time(rng.uniform_int(lo, hi));
+            w.end = std::min(w.start + len, horizon);
+            w.magnitude = draw_magnitude(kind, rng);
+            plan.windows_.push_back(w);
+        }
+    }
+    std::sort(plan.windows_.begin(), plan.windows_.end(),
+              [](const FaultWindow &a, const FaultWindow &b) {
+                  if (a.start != b.start)
+                      return a.start < b.start;
+                  if (a.kind != b.kind)
+                      return int(a.kind) < int(b.kind);
+                  return a.end < b.end;
+              });
+    return plan;
+}
+
+bool
+FaultPlan::active(FaultKind kind, Time now) const
+{
+    for (const FaultWindow &w : windows_) {
+        if (w.start > now)
+            break; // sorted by start
+        if (w.kind == kind && w.contains(now))
+            return true;
+    }
+    return false;
+}
+
+double
+FaultPlan::magnitude(FaultKind kind, Time now) const
+{
+    for (const FaultWindow &w : windows_) {
+        if (w.start > now)
+            break;
+        if (w.kind == kind && w.contains(now))
+            return w.magnitude;
+    }
+    return 0.0;
+}
+
+std::string
+FaultPlan::debug_string() const
+{
+    std::string out = "fault-plan seed=" + std::to_string(seed_) +
+                      " mix=" + mix_name_ +
+                      " windows=" + std::to_string(windows_.size()) + "\n";
+    char line[160];
+    for (const FaultWindow &w : windows_) {
+        std::snprintf(line, sizeof(line),
+                      "  %-18s [%lld, %lld) magnitude=%.17g\n",
+                      to_string(w.kind), (long long)w.start,
+                      (long long)w.end, w.magnitude);
+        out += line;
+    }
+    return out;
+}
+
+} // namespace dvs

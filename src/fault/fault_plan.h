@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Deterministic fault plans: seeded schedules of injectable faults.
+ *
+ * A FaultPlan is a list of (time window, fault kind, magnitude) entries
+ * generated deterministically from a seed and a FaultMix, in the spirit
+ * of record/replay testing: the same (seed, mix, horizon) triple always
+ * produces a byte-identical plan, so any chaos-campaign failure replays
+ * exactly from its seed. Plans are pure data — the FaultInjector binds
+ * them to a live pipeline through the component fault hooks.
+ */
+
+#ifndef DVS_FAULT_FAULT_PLAN_H
+#define DVS_FAULT_FAULT_PLAN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dvs {
+
+/** Everything the fault layer knows how to break. */
+enum class FaultKind : int {
+    kVsyncEdgeLoss,   ///< HW-VSync edges silently dropped
+    kClockDrift,      ///< panel oscillator skew (period scale factor)
+    kGpuHang,         ///< GPU jobs stall for the window's magnitude (ns)
+    kThermalThrottle, ///< ui/render/gpu slowdown multiplier
+    kBufferAllocFail, ///< buffer allocation fails transiently
+    kQueueStall,      ///< consumer-side latch stalls (screen repeats)
+    kDeadlineMiss,    ///< compositor misses its latch deadline
+    kInputBurst,      ///< bursts of input work steal UI-thread time
+};
+
+constexpr int kFaultKindCount = 8;
+
+const char *to_string(FaultKind k);
+
+/** One scheduled fault: active over [start, end). */
+struct FaultWindow {
+    FaultKind kind = FaultKind::kVsyncEdgeLoss;
+    Time start = 0;
+    Time end = 0;
+    /**
+     * Kind-specific magnitude: drift = period scale factor, hang = stall
+     * ns, throttle = slowdown multiplier, burst = per-burst UI work ns;
+     * unused (0) for the boolean faults.
+     */
+    double magnitude = 0.0;
+
+    bool contains(Time t) const { return t >= start && t < end; }
+
+    friend bool operator==(const FaultWindow &,
+                           const FaultWindow &) = default;
+};
+
+/** Which fault kinds a generated plan draws from. */
+struct FaultMix {
+    std::string name = "all";
+    std::vector<FaultKind> kinds;
+    /** Windows generated per kind. */
+    int windows_per_kind = 3;
+
+    /** Named mixes of the chaos campaign. */
+    static FaultMix display();   ///< edge loss + clock drift
+    static FaultMix compute();   ///< GPU hangs + thermal throttle
+    static FaultMix memory();    ///< alloc failures + queue stalls
+    static FaultMix scheduler(); ///< deadline misses + input bursts
+    static FaultMix everything();
+
+    /** The campaign's standard grid, in a fixed order. */
+    static std::vector<FaultMix> campaign_mixes();
+};
+
+/**
+ * A deterministic, replayable fault schedule.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /**
+     * Generate the plan for @p seed: window starts uniform over the first
+     * 90% of @p horizon, lengths and magnitudes drawn from per-kind
+     * ranges chosen to stress without wedging the pipeline. Byte-for-byte
+     * reproducible: generate(s, m, h) == generate(s, m, h), always.
+     */
+    static FaultPlan generate(std::uint64_t seed, Time horizon,
+                              const FaultMix &mix);
+
+    std::uint64_t seed() const { return seed_; }
+    const std::string &mix_name() const { return mix_name_; }
+    const std::vector<FaultWindow> &windows() const { return windows_; }
+    bool empty() const { return windows_.empty(); }
+
+    /** Whether any window of @p kind covers @p now. */
+    bool active(FaultKind kind, Time now) const;
+
+    /** Magnitude of the first active window of @p kind (0 when none). */
+    double magnitude(FaultKind kind, Time now) const;
+
+    /**
+     * Full-precision dump, one line per window; identical strings iff
+     * identical plans (the replay golden pins this).
+     */
+    std::string debug_string() const;
+
+    friend bool operator==(const FaultPlan &, const FaultPlan &) = default;
+
+  private:
+    std::uint64_t seed_ = 0;
+    std::string mix_name_;
+    std::vector<FaultWindow> windows_;
+};
+
+} // namespace dvs
+
+#endif // DVS_FAULT_FAULT_PLAN_H

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "sim/logging.h"
+
 namespace dvs {
 
 ExperimentRunner::ExperimentRunner(int jobs)
@@ -17,15 +19,31 @@ ExperimentRunner::ExperimentRunner(int jobs)
 RunReport
 ExperimentRunner::run_one(const Experiment &point) const
 {
-    RenderSystem sys(point.config, point.scenario);
-    RunReport report = sys.run();
-    report.label = point.label;
-    return report;
+    // fatal() throws ConfigError for the scope of the run, so one bad
+    // generated sweep point reports its error instead of killing the
+    // whole batch process.
+    FatalThrowsScope recoverable(true);
+    try {
+        RenderSystem sys(point.config, point.scenario);
+        RunReport report = sys.run();
+        report.label = point.label;
+        return report;
+    } catch (const ConfigError &e) {
+        RunReport failed;
+        failed.label = point.label;
+        failed.scenario = point.scenario.name();
+        failed.error = e.what();
+        return failed;
+    }
 }
 
 std::vector<RunReport>
 ExperimentRunner::run(const std::vector<Experiment> &points) const
 {
+    // Hold fatal-throws for the whole batch: the per-run_one scopes then
+    // save/restore `true`, so a worker finishing early cannot flip the
+    // mode off under a sibling mid-run.
+    FatalThrowsScope recoverable(true);
     std::vector<RunReport> reports(points.size());
     const int workers =
         int(std::min<std::size_t>(std::size_t(jobs_), points.size()));

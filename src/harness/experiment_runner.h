@@ -51,6 +51,12 @@ class ExperimentRunner
     /**
      * Execute every point and return its report, index-aligned with
      * @p points regardless of which worker ran it.
+     *
+     * A point whose configuration is rejected (fatal() raising
+     * ConfigError — e.g. an invalid buffer count in a generated sweep)
+     * does not abort the batch: its slot comes back with
+     * RunReport::error set and the label/scenario preserved, and every
+     * other point still runs.
      */
     std::vector<RunReport> run(const std::vector<Experiment> &points) const;
 

@@ -35,6 +35,13 @@ RunReport::averaged(const std::vector<RunReport> &runs)
         avg.pipeline_busy_s += r.pipeline_busy_s;
         avg.frames_produced += r.frames_produced;
         avg.predicted_frames += r.predicted_frames;
+        avg.invariant_violations += r.invariant_violations;
+        avg.faults_injected += r.faults_injected;
+        avg.degradations += r.degradations;
+        avg.repromotions += r.repromotions;
+        avg.dtv_resyncs += r.dtv_resyncs;
+        // timeline and error stay the front run's: transition logs are
+        // per-run narratives and do not aggregate meaningfully.
         avg.repeats += r.repeats;
     }
     const double n = double(runs.size());
@@ -77,7 +84,20 @@ RunReport::debug_string() const
         (unsigned long long)activity.frames_produced,
         (unsigned long long)activity.predicted_frames,
         int(activity.dvsync_on), energy_mj, repeats);
-    return buf;
+    std::string out = buf;
+    std::snprintf(buf, sizeof(buf),
+                  " violations=%llu faults=%llu degradations=%llu "
+                  "repromotions=%llu resyncs=%llu error=%s",
+                  (unsigned long long)invariant_violations,
+                  (unsigned long long)faults_injected,
+                  (unsigned long long)degradations,
+                  (unsigned long long)repromotions,
+                  (unsigned long long)dtv_resyncs,
+                  error.empty() ? "-" : error.c_str());
+    out += buf;
+    for (const std::string &t : timeline)
+        out += "\n  " + t;
+    return out;
 }
 
 } // namespace dvs

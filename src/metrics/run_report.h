@@ -72,6 +72,23 @@ struct RunReport {
     std::uint64_t frames_produced = 0;
     std::uint64_t predicted_frames = 0;
 
+    // ----- robustness (fault campaign + watchdog) -----------------------
+    std::uint64_t invariant_violations = 0; ///< InvariantMonitor total
+    std::uint64_t faults_injected = 0;      ///< fault activations (all kinds)
+    std::uint64_t degradations = 0;  ///< watchdog D-VSync -> VSync fall-backs
+    std::uint64_t repromotions = 0;  ///< watchdog VSync -> D-VSync returns
+    std::uint64_t dtv_resyncs = 0;   ///< DTV promise-chain resets
+
+    /** Degrade/re-promote transition log ("t=<ns> ..."), run order. */
+    std::vector<std::string> timeline;
+
+    /**
+     * Nonempty when the run failed instead of completing (e.g. the
+     * configuration was rejected with a ConfigError); every metric above
+     * is then zero/default. The harness records the error and moves on.
+     */
+    std::string error;
+
     /** Runs aggregated into this report (1 for a single run). */
     int repeats = 1;
 

@@ -26,6 +26,10 @@ Compositor::set_latch_lead(Time lead)
 bool
 Compositor::eligible(const FrameBuffer &buf, const VsyncEdge &edge)
 {
+    if (forced_miss_ && forced_miss_(edge.timestamp)) {
+        ++missed_;
+        return false;
+    }
     const bool ok = buf.queue_time() <= edge.timestamp - latch_lead_;
     if (ok)
         ++latched_;

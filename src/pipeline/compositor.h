@@ -35,6 +35,14 @@ class Compositor
     Time latch_lead() const { return latch_lead_; }
     void set_latch_lead(Time lead);
 
+    /**
+     * Fault-injection hook: while the hook returns true for an edge
+     * timestamp, the compositor misses its latch deadline regardless of
+     * when the buffer was queued (an overloaded composition thread).
+     */
+    using ForcedMiss = std::function<bool(Time)>;
+    void set_forced_miss(ForcedMiss fn) { forced_miss_ = std::move(fn); }
+
     /** Buffers that arrived inside the latch window and had to wait. */
     std::uint64_t missed_deadline() const { return missed_; }
 
@@ -46,6 +54,7 @@ class Compositor
 
     Panel &panel_;
     Time latch_lead_;
+    ForcedMiss forced_miss_;
     std::uint64_t missed_ = 0;
     std::uint64_t latched_ = 0;
 };

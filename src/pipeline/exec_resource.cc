@@ -15,6 +15,12 @@ ExecResource::run(Time duration, std::function<void()> on_done)
     if (duration < 0)
         panic("negative work duration on %s", name_.c_str());
     const Time now = sim_.now();
+    if (cost_transform_) {
+        duration = cost_transform_(now, duration);
+        if (duration < 0)
+            panic("cost transform returned negative duration on %s",
+                  name_.c_str());
+    }
     const Time start = std::max(now, busy_until_);
     if (start > now) {
         debug("%s: work queued %s behind current job", name_.c_str(),

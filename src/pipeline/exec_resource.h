@@ -43,6 +43,17 @@ class ExecResource
      */
     Time run(Time duration, std::function<void()> on_done);
 
+    /**
+     * Fault-injection hook: transform a job's duration before execution
+     * (thermal-throttle slowdown multipliers, GPU hangs). Receives the
+     * submission time and nominal duration; must return a duration >= 0.
+     */
+    using CostTransform = std::function<Time(Time now, Time duration)>;
+    void set_cost_transform(CostTransform fn)
+    {
+        cost_transform_ = std::move(fn);
+    }
+
     /** Cumulative busy time (for utilization and power accounting). */
     Time total_busy() const { return total_busy_; }
 
@@ -52,6 +63,7 @@ class ExecResource
   private:
     Simulator &sim_;
     std::string name_;
+    CostTransform cost_transform_;
     Time busy_until_ = 0;
     Time total_busy_ = 0;
     std::uint64_t jobs_ = 0;

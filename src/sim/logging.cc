@@ -1,5 +1,6 @@
 #include "sim/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,6 +8,11 @@ namespace dvs {
 namespace {
 
 LogLevel g_level = LogLevel::kWarn;
+
+std::atomic<bool> g_fatal_throws{[] {
+    const char *env = std::getenv("DVS_FATAL_THROWS");
+    return env && env[0] == '1';
+}()};
 
 void
 vlog(const char *tag, const char *fmt, va_list ap)
@@ -40,9 +46,29 @@ panic(const char *fmt, ...)
     std::abort();
 }
 
+bool
+set_fatal_throws(bool on)
+{
+    return g_fatal_throws.exchange(on);
+}
+
+bool
+fatal_throws()
+{
+    return g_fatal_throws.load();
+}
+
 void
 fatal(const char *fmt, ...)
 {
+    if (g_fatal_throws.load()) {
+        char buf[512];
+        va_list ap;
+        va_start(ap, fmt);
+        std::vsnprintf(buf, sizeof(buf), fmt, ap);
+        va_end(ap);
+        throw ConfigError(buf);
+    }
     va_list ap;
     va_start(ap, fmt);
     vlog("fatal", fmt, ap);

@@ -12,9 +12,22 @@
 #define DVS_SIM_LOGGING_H
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace dvs {
+
+/**
+ * A user/configuration error surfaced by fatal() when fatal-throws mode
+ * is on. Batch drivers (the ExperimentRunner) enable that mode so one
+ * bad sweep point fails its own RunReport slot instead of exiting the
+ * whole multi-threaded process.
+ */
+class ConfigError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 enum class LogLevel : int {
     kNone = 0,
@@ -32,9 +45,33 @@ LogLevel log_level();
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Exit(1) with a message: a user/configuration error. */
+/**
+ * Report a user/configuration error: exit(1) by default, or throw
+ * ConfigError when fatal-throws mode is on (set_fatal_throws). panic()
+ * is unaffected — genuine internal invariant breaks always abort.
+ */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/**
+ * Toggle fatal-throws mode (process-wide, also via $DVS_FATAL_THROWS=1
+ * at first use). Returns the previous value so scoped users can restore.
+ */
+bool set_fatal_throws(bool on);
+bool fatal_throws();
+
+/** RAII scope for fatal-throws mode. */
+class FatalThrowsScope
+{
+  public:
+    explicit FatalThrowsScope(bool on) : saved_(set_fatal_throws(on)) {}
+    ~FatalThrowsScope() { set_fatal_throws(saved_); }
+    FatalThrowsScope(const FatalThrowsScope &) = delete;
+    FatalThrowsScope &operator=(const FatalThrowsScope &) = delete;
+
+  private:
+    bool saved_;
+};
 
 /** Non-fatal warning about questionable but survivable conditions. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));

@@ -11,6 +11,7 @@
 #include "display/hw_vsync.h"
 #include "display/ltpo.h"
 #include "display/panel.h"
+#include "sim/logging.h"
 #include "sim/simulator.h"
 
 using namespace dvs;
@@ -140,6 +141,52 @@ TEST(HwVsync, JitterStaysBoundedAndGridDoesNotDrift)
     for (std::size_t i = 0; i < edges.size(); ++i) {
         const Time ideal = Time(i) * 10_ms;
         EXPECT_LE(std::abs(edges[i] - ideal), 300'000) << "edge " << i;
+    }
+}
+
+TEST(HwVsync, JitterRejectsNegativeStddev)
+{
+    Simulator sim;
+    HwVsyncGenerator hw(sim, 100.0);
+    FatalThrowsScope scope(true);
+    EXPECT_THROW(hw.set_jitter(-1, &sim.rng()), ConfigError);
+}
+
+TEST(HwVsync, JitterRejectsMissingRng)
+{
+    Simulator sim;
+    HwVsyncGenerator hw(sim, 100.0);
+    FatalThrowsScope scope(true);
+    EXPECT_THROW(hw.set_jitter(100'000, nullptr), ConfigError);
+    // Disabling jitter needs no RNG.
+    hw.set_jitter(0, nullptr);
+}
+
+TEST(HwVsync, RestartAfterStopWithJitterStaysMonotonic)
+{
+    // Regression: a jitter draw on the first edge after a restart must
+    // not land the edge before the restart instant (the clamp-to-now
+    // documented on set_jitter), and edges must stay monotonic across
+    // the gap.
+    Simulator sim(7);
+    HwVsyncGenerator hw(sim, 100.0);
+    hw.set_jitter(2_ms, &sim.rng()); // enormous: 20% of the period
+    std::vector<Time> edges;
+    hw.add_listener([&](const VsyncEdge &e) { edges.push_back(e.timestamp); });
+    hw.start();
+    sim.run_until(95_ms);
+    hw.stop();
+    sim.run_until(300_ms);
+    const std::size_t before = edges.size();
+    hw.start();
+    const Time restart = sim.now();
+    sim.run_until(1_s);
+    ASSERT_GT(edges.size(), before + 10);
+    for (std::size_t i = before; i < edges.size(); ++i)
+        EXPECT_GE(edges[i], restart) << "edge " << i << " before restart";
+    for (std::size_t i = 1; i < edges.size(); ++i) {
+        EXPECT_GE(edges[i], edges[i - 1])
+            << "edge " << i << " reordered";
     }
 }
 

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "core/render_system.h"
+#include "test_support.h"
 #include "workload/frame_cost.h"
 
 using namespace dvs;
@@ -27,11 +28,7 @@ animation(std::shared_ptr<const FrameCostModel> cost, Time duration)
 void
 check_conservation(RenderSystem &sys)
 {
-    std::vector<int> seen(sys.producer().records().size(), 0);
-    for (const ShownFrame &f : sys.stats().shown())
-        ++seen[f.frame_id];
-    for (std::size_t i = 0; i < seen.size(); ++i)
-        EXPECT_LE(seen[i], 1) << "frame " << i << " presented twice";
+    expect_frame_conservation(sys);
 }
 
 } // namespace

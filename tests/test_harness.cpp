@@ -15,6 +15,7 @@
 
 #include "harness/experiment_runner.h"
 #include "metrics/stutter_model.h"
+#include "sim/logging.h"
 #include "workload/app_profiles.h"
 #include "workload/frame_cost.h"
 
@@ -125,6 +126,40 @@ TEST(ExperimentRunner, DefaultJobsPrefersFlagThenEnv)
     // jobs <= 0 resolves to at least one worker.
     EXPECT_GE(ExperimentRunner(0).jobs(), 1);
     EXPECT_GE(ExperimentRunner(-5).jobs(), 1);
+}
+
+TEST(ExperimentRunner, BadSweepPointFailsItsSlotNotTheBatch)
+{
+    // buffers=1 is below the architectural minimum: the RenderSystem
+    // constructor fatal()s. Under the runner that becomes a ConfigError
+    // recorded in the point's slot; the other points still run.
+    std::vector<Experiment> points(3);
+    points[0].scenario = steady();
+    points[0].label = "good-0";
+    points[1].scenario = steady();
+    points[1].config.buffers = 1;
+    points[1].label = "bad";
+    points[2].scenario = steady();
+    points[2].config.mode = RenderMode::kDvsync;
+    points[2].label = "good-2";
+
+    for (int jobs : {1, 3}) {
+        const std::vector<RunReport> reports =
+            ExperimentRunner(jobs).run(points);
+        ASSERT_EQ(reports.size(), 3u);
+        EXPECT_TRUE(reports[0].error.empty()) << reports[0].error;
+        EXPECT_GT(reports[0].presents, 0u);
+        EXPECT_EQ(reports[1].label, "bad");
+        EXPECT_EQ(reports[1].scenario, "steady");
+        EXPECT_NE(reports[1].error.find("at least 2 slots"),
+                  std::string::npos)
+            << reports[1].error;
+        EXPECT_EQ(reports[1].presents, 0u);
+        EXPECT_TRUE(reports[2].error.empty()) << reports[2].error;
+        EXPECT_GT(reports[2].presents, 0u);
+    }
+    // The batch scope restored exit-on-fatal for everyone else.
+    EXPECT_FALSE(fatal_throws());
 }
 
 TEST(RunReport, MatchesFrameStatsOfTheRun)

@@ -64,3 +64,50 @@ TEST(LoggingDeathTest, BufferQueueRejectsTinyCapacity)
         },
         ::testing::ExitedWithCode(1), "at least 2 slots");
 }
+
+TEST(Logging, FatalThrowsConfigErrorInScope)
+{
+    FatalThrowsScope scope(true);
+    EXPECT_TRUE(fatal_throws());
+    try {
+        fatal("bad knob %d", 42);
+        FAIL() << "fatal returned";
+    } catch (const ConfigError &e) {
+        EXPECT_STREQ(e.what(), "bad knob 42");
+    }
+}
+
+TEST(Logging, FatalThrowsScopeRestoresPreviousMode)
+{
+    ASSERT_FALSE(fatal_throws());
+    {
+        FatalThrowsScope outer(true);
+        {
+            FatalThrowsScope inner(true);
+            EXPECT_TRUE(fatal_throws());
+        }
+        // Nested scopes restore what they saw, not `false` blindly.
+        EXPECT_TRUE(fatal_throws());
+    }
+    EXPECT_FALSE(fatal_throws());
+}
+
+TEST(Logging, ConstructorFatalIsRecoverableInThrowsMode)
+{
+    FatalThrowsScope scope(true);
+    EXPECT_THROW({ BufferQueue q(1); }, ConfigError);
+    // The process survived; a valid construction still works.
+    BufferQueue ok(2);
+    EXPECT_EQ(ok.capacity(), 2);
+}
+
+TEST(LoggingDeathTest, PanicStillAbortsInThrowsMode)
+{
+    // panic() is an internal bug, never recoverable.
+    EXPECT_DEATH(
+        {
+            FatalThrowsScope scope(true);
+            panic("invariant %s", "broken");
+        },
+        "invariant broken");
+}

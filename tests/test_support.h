@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared helpers for system-level tests.
+ */
+
+#ifndef DVS_TESTS_TEST_SUPPORT_H
+#define DVS_TESTS_TEST_SUPPORT_H
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/render_system.h"
+
+namespace dvs {
+
+/**
+ * Frame conservation: no produced frame reaches the screen more than
+ * once. Usable after run() on any mode.
+ */
+inline void
+expect_frame_conservation(RenderSystem &sys)
+{
+    std::vector<int> seen(sys.producer().records().size(), 0);
+    for (const ShownFrame &f : sys.stats().shown())
+        ++seen[f.frame_id];
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_LE(seen[i], 1) << "frame " << i << " presented twice";
+}
+
+/** The run's invariant monitor recorded nothing. */
+inline void
+expect_no_invariant_violations(RenderSystem &sys)
+{
+    const InvariantMonitor *m = sys.monitor();
+    ASSERT_NE(m, nullptr) << "run built with monitor_invariants=false";
+    EXPECT_EQ(m->violations(), 0u);
+    for (const InvariantViolation &v : m->log()) {
+        ADD_FAILURE() << "t=" << v.time << " [" << v.invariant << "] "
+                      << v.detail;
+    }
+}
+
+} // namespace dvs
+
+#endif // DVS_TESTS_TEST_SUPPORT_H
