@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Fleet campaign (`BENCH_fleet.json`): seeded multi-surface sessions
+ * swept over surface count x memory budget x arbiter policy through the
+ * parallel experiment harness.
+ *
+ * Every session assembles a MultiSurfaceSystem from a fixed surface
+ * roster (heavy D-VSync app, light status bar, oblivious overlay, heavy
+ * game) and runs it under one device-wide extra-buffer budget (§6.4)
+ * with the cross-surface invariant monitor on. The sweep compares the
+ * weighted arbiter against the naive equal-split baseline at every
+ * (count, budget) cell.
+ *
+ * Acceptance bar, checked on exit:
+ *  - zero invariant violations and zero failed runs across the fleet;
+ *  - under the constrained budgets (0 < budget <= 32 MB) the weighted
+ *    arbiter's summed drops are strictly below equal-split's — the
+ *    arbiter must demonstrably buy frames with the same memory.
+ *
+ * Usage: fleet_campaign [--seeds=N] [--jobs=N] [--out=PATH] [--golden]
+ *   --seeds=N    seeds per (count, budget, policy) cell (default 10;
+ *                the default grid is 3 counts x 4 budgets x 2 policies
+ *                x 10 seeds = 240 sessions)
+ *   --out=PATH   where to write the JSON record (default
+ *                BENCH_fleet.json; "-" suppresses the file)
+ *   --golden     deterministic single-seed replay dump for the golden
+ *                check (per-session reports, no JSON, no timing)
+ *
+ * Exits nonzero when the acceptance bar fails.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/logging.h"
+#include "surface/multi_surface.h"
+#include "workload/distributions.h"
+#include "workload/frame_cost.h"
+
+using namespace dvs;
+using namespace dvs::bench;
+using namespace dvs::time_literals;
+
+namespace {
+
+Scenario
+light_scenario(const std::string &name, Time duration)
+{
+    auto cost = std::make_shared<ConstantCostModel>(1_ms, 3_ms);
+    Scenario sc(name);
+    sc.animate(duration, cost);
+    return sc;
+}
+
+Scenario
+heavy_scenario(const std::string &name, std::uint64_t seed, Time duration)
+{
+    // Power-law costs whose key frames overrun the 60 Hz period:
+    // pre-render depth (banked idle time) absorbs them, so drops respond
+    // to the arbiter's buffer grants.
+    PowerLawParams p;
+    p.short_mean_ms = 8.0;
+    p.heavy_prob = 0.22;
+    p.heavy_min_ms = 14.0;
+    p.heavy_max_ms = 32.0;
+    auto cost = std::make_shared<PowerLawCostModel>(p, seed);
+    Scenario sc(name);
+    sc.animate(duration, cost);
+    return sc;
+}
+
+/**
+ * The fleet roster, in launch order. Sessions with fewer surfaces take a
+ * prefix, so every count includes the heavy app that profits most from
+ * arbitration. Staggered durations make surfaces exit mid-session and
+ * exercise online re-arbitration.
+ */
+std::vector<SurfaceDesc>
+roster(int count, std::uint64_t seed)
+{
+    std::vector<SurfaceDesc> descs = {
+        SurfaceDesc()
+            .with_name("app")
+            .with_scenario(heavy_scenario("app", seed * 1000 + 1, 900_ms))
+            .with_buffer_mb(12.0)
+            .with_weight(3.0),
+        SurfaceDesc()
+            .with_name("status_bar")
+            .with_scenario(light_scenario("status_bar", 800_ms))
+            .with_buffer_mb(10.0)
+            .with_weight(1.0),
+        SurfaceDesc()
+            .with_name("overlay")
+            .with_scenario(light_scenario("overlay", 600_ms))
+            .with_dvsync_aware(false)
+            .with_buffer_mb(8.0),
+        SurfaceDesc()
+            .with_name("game")
+            .with_scenario(heavy_scenario("game", seed * 1000 + 4, 900_ms))
+            .with_buffer_mb(12.0)
+            .with_weight(4.0),
+    };
+    descs.resize(std::size_t(count));
+    return descs;
+}
+
+struct SurfaceAgg {
+    std::string name;
+    std::uint64_t drops = 0;
+    std::uint64_t due = 0;
+    double fdps_sum = 0.0; ///< summed per-run FDPS; mean = /runs
+};
+
+struct Cell {
+    int count = 0;
+    double budget_mb = 0.0;
+    ArbiterPolicy policy = ArbiterPolicy::kWeighted;
+    int runs = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t presents = 0;
+    std::uint64_t degradations = 0;
+    std::uint64_t rearbitrations = 0;
+    double peak_used_mb = 0.0;
+    double fdps_sum = 0.0; ///< summed aggregate FDPS; mean = /runs
+    int errors = 0;
+    std::vector<SurfaceAgg> surfaces;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int seeds = 10;
+    bool golden = false;
+    std::string out_path = "BENCH_fleet.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--seeds=", 8) == 0)
+            seeds = std::atoi(argv[i] + 8);
+        else if (std::strncmp(argv[i], "--out=", 6) == 0)
+            out_path = argv[i] + 6;
+        else if (std::strcmp(argv[i], "--golden") == 0)
+            golden = true;
+    }
+    if (seeds < 1)
+        fatal("--seeds must be >= 1");
+    if (golden) {
+        seeds = 1;
+        out_path = "-";
+    }
+
+    const int counts[] = {2, 3, 4};
+    const double budgets[] = {0.0, 16.0, 32.0, 64.0};
+    const ArbiterPolicy policies[] = {ArbiterPolicy::kWeighted,
+                                      ArbiterPolicy::kEqualSplit};
+
+    // The grid, count-major: every (count, budget, policy) cell holds
+    // `seeds` sessions. Tasks own their descriptors and config; the
+    // harness runs them like any other experiment batch.
+    std::vector<ExperimentRunner::Task> tasks;
+    std::vector<Cell> cells;
+    for (int count : counts) {
+        for (double budget : budgets) {
+            for (ArbiterPolicy policy : policies) {
+                Cell cell;
+                cell.count = count;
+                cell.budget_mb = budget;
+                cell.policy = policy;
+                cells.push_back(cell);
+                for (int s = 0; s < seeds; ++s) {
+                    const std::uint64_t seed = std::uint64_t(s) + 1;
+                    const std::string label =
+                        std::to_string(count) + "surf/" +
+                        std::to_string(int(budget)) + "mb/" +
+                        to_string(policy) + "/seed" + std::to_string(seed);
+                    tasks.push_back([count, budget, policy, seed, label] {
+                        RunReport r = run_multi_surface(
+                            roster(count, seed),
+                            MultiSurfaceConfig()
+                                .with_seed(seed)
+                                .with_budget_mb(budget)
+                                .with_policy(policy));
+                        r.label = label;
+                        return r;
+                    });
+                }
+            }
+        }
+    }
+
+    const ExperimentRunner runner(parse_jobs(argc, argv));
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<RunReport> reports = runner.run_tasks(tasks);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    std::uint64_t total_violations = 0;
+    int total_errors = 0;
+    std::size_t idx = 0;
+    for (Cell &cell : cells) {
+        for (int s = 0; s < seeds; ++s, ++idx) {
+            const RunReport &r = reports[idx];
+            ++cell.runs;
+            cell.violations += r.invariant_violations;
+            cell.drops += r.drops;
+            cell.presents += r.presents;
+            cell.degradations += r.degradations;
+            cell.rearbitrations += r.rearbitrations;
+            cell.peak_used_mb = std::max(cell.peak_used_mb, r.budget_used_mb);
+            cell.fdps_sum += r.fdps;
+            if (cell.surfaces.size() < r.surfaces.size())
+                cell.surfaces.resize(r.surfaces.size());
+            for (std::size_t j = 0; j < r.surfaces.size(); ++j) {
+                SurfaceAgg &agg = cell.surfaces[j];
+                agg.name = r.surfaces[j].name;
+                agg.drops += r.surfaces[j].drops;
+                agg.due += r.surfaces[j].frames_due;
+                agg.fdps_sum += r.surfaces[j].fdps;
+            }
+            if (!r.error.empty()) {
+                ++cell.errors;
+                std::printf("ERROR %s: %s\n", r.label.c_str(),
+                            r.error.c_str());
+            }
+            if (r.invariant_violations > 0)
+                std::printf("VIOLATIONS %s: %llu\n", r.label.c_str(),
+                            (unsigned long long)r.invariant_violations);
+            if (golden)
+                std::printf("%s\n", r.debug_string().c_str());
+        }
+        total_violations += cell.violations;
+        total_errors += cell.errors;
+    }
+
+    std::printf("fleet campaign: %d seeds x %zu counts x %zu budgets x "
+                "%zu policies (%zu sessions)\n\n",
+                seeds, std::size(counts), std::size(budgets),
+                std::size(policies), tasks.size());
+    std::printf("%5s %7s %-10s %5s %10s %7s %9s %8s %7s %6s\n", "surfs",
+                "budget", "policy", "runs", "violations", "drops",
+                "presents", "rearbs", "peakMB", "errs");
+    for (const Cell &c : cells) {
+        std::printf("%5d %7.0f %-10s %5d %10llu %7llu %9llu %8llu %7.0f "
+                    "%6d\n",
+                    c.count, c.budget_mb, to_string(c.policy), c.runs,
+                    (unsigned long long)c.violations,
+                    (unsigned long long)c.drops,
+                    (unsigned long long)c.presents,
+                    (unsigned long long)c.rearbitrations, c.peak_used_mb,
+                    c.errors);
+    }
+
+    // The acceptance comparison: at every constrained budget, how many
+    // frames does arbitration buy over equal division of the same
+    // memory?
+    std::uint64_t constrained_weighted = 0, constrained_equal = 0;
+    std::printf("\nweighted vs equal-split (same count, budget, seeds):\n");
+    for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
+        const Cell &w = cells[i];
+        const Cell &e = cells[i + 1];
+        const bool constrained = w.budget_mb > 0.0 && w.budget_mb <= 32.0;
+        if (constrained) {
+            constrained_weighted += w.drops;
+            constrained_equal += e.drops;
+        }
+        std::printf("  %d surfaces, %3.0f MB: %llu vs %llu drops%s\n",
+                    w.count, w.budget_mb, (unsigned long long)w.drops,
+                    (unsigned long long)e.drops,
+                    constrained ? "  [constrained]" : "");
+    }
+    std::printf("constrained total: weighted %llu, equal-split %llu\n",
+                (unsigned long long)constrained_weighted,
+                (unsigned long long)constrained_equal);
+    std::printf("total: %llu violations, %d failed runs\n",
+                (unsigned long long)total_violations, total_errors);
+    if (!golden)
+        std::printf("throughput: %zu sessions in %.2f s (%.1f/s, "
+                    "jobs=%d)\n",
+                    tasks.size(), wall_s, double(tasks.size()) / wall_s,
+                    runner.jobs());
+
+    if (out_path != "-") {
+        FILE *f = std::fopen(out_path.c_str(), "w");
+        if (!f)
+            fatal("cannot write %s", out_path.c_str());
+        std::fprintf(f,
+                     "{\n"
+                     "  \"bench\": \"fleet_campaign\",\n"
+                     "  \"seeds\": %d,\n"
+                     "  \"sessions\": %zu,\n"
+                     "  \"total_violations\": %llu,\n"
+                     "  \"failed_runs\": %d,\n"
+                     "  \"constrained_drops_weighted\": %llu,\n"
+                     "  \"constrained_drops_equal_split\": %llu,\n"
+                     "  \"wall_seconds\": %.3f,\n"
+                     "  \"throughput_sessions_per_sec\": %.1f,\n"
+                     "  \"jobs\": %d,\n"
+                     "  \"cells\": [\n",
+                     seeds, tasks.size(),
+                     (unsigned long long)total_violations, total_errors,
+                     (unsigned long long)constrained_weighted,
+                     (unsigned long long)constrained_equal, wall_s,
+                     double(tasks.size()) / wall_s, runner.jobs());
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const Cell &c = cells[i];
+            std::fprintf(
+                f,
+                "    {\"surfaces\": %d, \"budget_mb\": %.0f, "
+                "\"policy\": \"%s\", \"runs\": %d, \"violations\": %llu, "
+                "\"drops\": %llu, \"presents\": %llu, "
+                "\"degradations\": %llu, \"rearbitrations\": %llu, "
+                "\"peak_used_mb\": %.0f, \"fdps\": %.4f, \"errors\": %d, "
+                "\"per_surface\": [",
+                c.count, c.budget_mb, to_string(c.policy), c.runs,
+                (unsigned long long)c.violations,
+                (unsigned long long)c.drops, (unsigned long long)c.presents,
+                (unsigned long long)c.degradations,
+                (unsigned long long)c.rearbitrations, c.peak_used_mb,
+                c.fdps_sum / double(c.runs), c.errors);
+            for (std::size_t j = 0; j < c.surfaces.size(); ++j) {
+                const SurfaceAgg &agg = c.surfaces[j];
+                std::fprintf(f,
+                             "{\"name\": \"%s\", \"drops\": %llu, "
+                             "\"due\": %llu, \"fdps\": %.4f}%s",
+                             agg.name.c_str(),
+                             (unsigned long long)agg.drops,
+                             (unsigned long long)agg.due,
+                             agg.fdps_sum / double(c.runs),
+                             j + 1 < c.surfaces.size() ? ", " : "");
+            }
+            std::fprintf(f, "]}%s\n", i + 1 < cells.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("fleet record written to %s\n", out_path.c_str());
+    }
+
+    bool failed = total_violations > 0 || total_errors > 0;
+    if (constrained_weighted >= constrained_equal) {
+        std::printf("ARBITER DID NOT BEAT EQUAL-SPLIT (constrained "
+                    "budgets)\n");
+        failed = true;
+    }
+    if (failed) {
+        std::printf("FLEET CAMPAIGN FAILED\n");
+        return 1;
+    }
+    return 0;
+}

@@ -18,6 +18,7 @@ for golden in bench/goldens/*.txt; do
     case "$name" in
         perf_sim_core.checksums) continue ;;
         chaos_campaign.golden) continue ;;
+        fleet_campaign.golden) continue ;;
     esac
     bin="$BENCH_DIR/$name"
     if [[ ! -x "$bin" ]]; then
@@ -61,6 +62,22 @@ else
     echo "DIFF     chaos_campaign (golden replay)"
     diff bench/goldens/chaos_campaign.golden.txt \
          "$TMP/chaos_campaign.golden.txt" | head -20 || true
+    fail=1
+fi
+
+# fleet_campaign: the bare binary runs the full multi-surface sweep with
+# wall-clock throughput in its output, so the golden pins the
+# deterministic --golden replay (seed-1 per-session reports for every
+# count/budget/policy cell) instead.
+"$BENCH_DIR/fleet_campaign" --golden --jobs=1 \
+    > "$TMP/fleet_campaign.golden.txt" 2>&1
+if cmp -s bench/goldens/fleet_campaign.golden.txt \
+          "$TMP/fleet_campaign.golden.txt"; then
+    echo "OK       fleet_campaign (golden replay)"
+else
+    echo "DIFF     fleet_campaign (golden replay)"
+    diff bench/goldens/fleet_campaign.golden.txt \
+         "$TMP/fleet_campaign.golden.txt" | head -20 || true
     fail=1
 fi
 

@@ -34,3 +34,10 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 # otherwise). Runs in both the plain and the sanitized build — the fault
 # paths are exactly where sanitizers earn their keep.
 "$BUILD_DIR/bench/chaos_campaign" --seeds=5 --out=-
+
+# Fleet smoke: a small multi-surface sweep must finish with zero
+# violations, zero failed runs, and the weighted arbiter strictly
+# beating equal-split under the constrained budgets (nonzero exit
+# otherwise). The shared-GPU and arbiter re-arbitration paths also run
+# under sanitizers here.
+"$BUILD_DIR/bench/fleet_campaign" --seeds=2 --out=-

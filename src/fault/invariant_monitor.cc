@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/logging.h"
+
 namespace dvs {
 
 void
@@ -13,6 +15,45 @@ InvariantMonitor::attach(Producer &producer, Panel &panel, int max_depth)
         [this](const FrameRecord &rec) { on_queued(rec); });
     panel.add_present_listener(
         [this](const PresentEvent &ev) { on_present(ev); });
+}
+
+void
+InvariantMonitor::watch_latches(int surface_id, Panel &panel)
+{
+    if (surface_id < 0)
+        panic("watch_latches with negative surface id %d", surface_id);
+    if (int(last_latch_edge_.size()) <= surface_id)
+        last_latch_edge_.resize(std::size_t(surface_id) + 1, -1);
+    panel.add_present_listener([this, surface_id](const PresentEvent &ev) {
+        on_surface_latch(surface_id, ev);
+    });
+}
+
+void
+InvariantMonitor::on_surface_latch(int surface_id, const PresentEvent &ev)
+{
+    if (ev.repeat)
+        return;
+    std::int64_t &last = last_latch_edge_[std::size_t(surface_id)];
+    if (last >= 0 && std::int64_t(ev.vsync_index) <= last) {
+        record(ev.present_time, "surface-double-latch",
+               "surface " + std::to_string(surface_id) +
+                   " latched twice at edge " +
+                   std::to_string(ev.vsync_index));
+    }
+    last = std::int64_t(ev.vsync_index);
+}
+
+void
+InvariantMonitor::on_budget(Time now, double used_mb, double budget_mb)
+{
+    // Tiny epsilon: the budget check compares sums of per-surface costs
+    // that were individually admitted against the same budget.
+    if (used_mb > budget_mb + 1e-9) {
+        record(now, "arbiter-over-budget",
+               std::to_string(used_mb) + " MB in use > budget " +
+                   std::to_string(budget_mb) + " MB");
+    }
 }
 
 void

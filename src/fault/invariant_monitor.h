@@ -65,6 +65,28 @@ class InvariantMonitor
      */
     void attach(Producer &producer, Panel &panel, int max_depth);
 
+    // ----- cross-surface invariants (multi-surface composition) --------
+    //
+    // A display-level monitor watches every surface of one compositor;
+    // the per-surface FIFO/conservation checks stay with each surface's
+    // own monitor (attach() above), while the checks below only make
+    // sense across surfaces sharing one display.
+
+    /**
+     * Watch @p panel as surface @p surface_id of a shared display: no
+     * surface may have two buffers latched at the same refresh edge (the
+     * compositor latches at most one buffer per surface per refresh).
+     */
+    void watch_latches(int surface_id, Panel &panel);
+
+    /**
+     * Budget invariant of the buffer-memory arbiter: the extra-buffer
+     * memory in use must never exceed the device budget. Records an
+     * "arbiter-over-budget" violation when @p used_mb > @p budget_mb.
+     * Wired to BufferBudgetArbiter::set_budget_check.
+     */
+    void on_budget(Time now, double used_mb, double budget_mb);
+
     /** Total violations recorded (the log itself is capped). */
     std::uint64_t violations() const { return violation_count_; }
 
@@ -85,10 +107,14 @@ class InvariantMonitor
   private:
     void on_present(const PresentEvent &ev);
     void on_queued(const FrameRecord &rec);
+    void on_surface_latch(int surface_id, const PresentEvent &ev);
     void record(Time t, const char *invariant, std::string detail);
 
     Producer *producer_ = nullptr;
     int max_depth_ = 0;
+
+    /** Per-surface last latched edge index (-1 = none yet). */
+    std::vector<std::int64_t> last_latch_edge_;
 
     Time last_present_time_ = kTimeNone;
     std::int64_t last_presented_frame_ = -1;

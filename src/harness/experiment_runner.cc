@@ -37,23 +37,46 @@ ExperimentRunner::run_one(const Experiment &point) const
     }
 }
 
+RunReport
+ExperimentRunner::run_task(const Task &task) const
+{
+    FatalThrowsScope recoverable(true);
+    try {
+        return task();
+    } catch (const ConfigError &e) {
+        RunReport failed;
+        failed.error = e.what();
+        return failed;
+    }
+}
+
 std::vector<RunReport>
 ExperimentRunner::run(const std::vector<Experiment> &points) const
 {
-    // Hold fatal-throws for the whole batch: the per-run_one scopes then
+    std::vector<Task> tasks;
+    tasks.reserve(points.size());
+    for (const Experiment &point : points)
+        tasks.push_back([this, &point] { return run_one(point); });
+    return run_tasks(tasks);
+}
+
+std::vector<RunReport>
+ExperimentRunner::run_tasks(const std::vector<Task> &tasks) const
+{
+    // Hold fatal-throws for the whole batch: the per-task scopes then
     // save/restore `true`, so a worker finishing early cannot flip the
     // mode off under a sibling mid-run.
     FatalThrowsScope recoverable(true);
-    std::vector<RunReport> reports(points.size());
+    std::vector<RunReport> reports(tasks.size());
     const int workers =
-        int(std::min<std::size_t>(std::size_t(jobs_), points.size()));
+        int(std::min<std::size_t>(std::size_t(jobs_), tasks.size()));
     if (workers <= 1) {
-        for (std::size_t i = 0; i < points.size(); ++i)
-            reports[i] = run_one(points[i]);
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            reports[i] = run_task(tasks[i]);
         return reports;
     }
 
-    // Dynamic self-scheduling: points vary wildly in cost (a 60 s game
+    // Dynamic self-scheduling: tasks vary wildly in cost (a 60 s game
     // trace vs. a 400 ms transition), so workers pull the next index
     // instead of owning a static stripe. Each slot is written by exactly
     // one worker, so the only synchronization needed is the counter and
@@ -63,9 +86,9 @@ ExperimentRunner::run(const std::vector<Experiment> &points) const
     pool.reserve(std::size_t(workers));
     for (int w = 0; w < workers; ++w) {
         pool.emplace_back([&] {
-            for (std::size_t i = next.fetch_add(1); i < points.size();
+            for (std::size_t i = next.fetch_add(1); i < tasks.size();
                  i = next.fetch_add(1)) {
-                reports[i] = run_one(points[i]);
+                reports[i] = run_task(tasks[i]);
             }
         });
     }

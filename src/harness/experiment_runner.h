@@ -16,6 +16,7 @@
 #ifndef DVS_HARNESS_EXPERIMENT_RUNNER_H
 #define DVS_HARNESS_EXPERIMENT_RUNNER_H
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,14 @@ class ExperimentRunner
     int jobs() const { return jobs_; }
 
     /**
+     * A self-contained unit of work producing its own report — e.g. a
+     * multi-surface session, which assembles several pipelines and is
+     * not expressible as one (SystemConfig, Scenario) point. Tasks must
+     * own all their state: workers invoke them concurrently.
+     */
+    using Task = std::function<RunReport()>;
+
+    /**
      * Execute every point and return its report, index-aligned with
      * @p points regardless of which worker ran it.
      *
@@ -60,8 +69,19 @@ class ExperimentRunner
      */
     std::vector<RunReport> run(const std::vector<Experiment> &points) const;
 
+    /**
+     * Execute arbitrary tasks on the same pool with the same guarantees:
+     * results in submission order, one ConfigError fails only its own
+     * slot (RunReport::error; label/scenario are then whatever the task
+     * set before failing — tasks wanting labels on errors catch inside).
+     */
+    std::vector<RunReport> run_tasks(const std::vector<Task> &tasks) const;
+
     /** Execute a single point inline on the calling thread. */
     RunReport run_one(const Experiment &point) const;
+
+    /** Execute a single task inline with the ConfigError guard. */
+    RunReport run_task(const Task &task) const;
 
   private:
     int jobs_;

@@ -40,8 +40,10 @@ RunReport::averaged(const std::vector<RunReport> &runs)
         avg.degradations += r.degradations;
         avg.repromotions += r.repromotions;
         avg.dtv_resyncs += r.dtv_resyncs;
-        // timeline and error stay the front run's: transition logs are
-        // per-run narratives and do not aggregate meaningfully.
+        avg.rearbitrations += r.rearbitrations;
+        // timeline, error, and the per-surface slices stay the front
+        // run's: transition logs are per-run narratives, and surface
+        // slices describe one session's allocation outcome.
         avg.repeats += r.repeats;
     }
     const double n = double(runs.size());
@@ -95,6 +97,29 @@ RunReport::debug_string() const
                   (unsigned long long)dtv_resyncs,
                   error.empty() ? "-" : error.c_str());
     out += buf;
+    if (!surfaces.empty()) {
+        std::snprintf(buf, sizeof(buf),
+                      " budget_mb=%.17g used_mb=%.17g rearb=%llu",
+                      budget_mb, budget_used_mb,
+                      (unsigned long long)rearbitrations);
+        out += buf;
+        for (const SurfaceReport &s : surfaces) {
+            std::snprintf(
+                buf, sizeof(buf),
+                "\n  surface=%s mode=%s buffers=%d extra=%d mb=%.17g "
+                "fdps=%.17g fd%%=%.17g drops=%llu due=%lld presents=%llu "
+                "p95=%.17g violations=%llu degradations=%llu "
+                "repromotions=%llu",
+                s.name.c_str(), s.mode.c_str(), s.buffers, s.extra_buffers,
+                s.buffer_mb, s.fdps, s.fd_percent,
+                (unsigned long long)s.drops, (long long)s.frames_due,
+                (unsigned long long)s.presents, s.latency_p95_ms,
+                (unsigned long long)s.invariant_violations,
+                (unsigned long long)s.degradations,
+                (unsigned long long)s.repromotions);
+            out += buf;
+        }
+    }
     for (const std::string &t : timeline)
         out += "\n  " + t;
     return out;

@@ -36,6 +36,33 @@ struct ReportConfig {
                            const ReportConfig &) = default;
 };
 
+/**
+ * Per-surface slice of a multi-surface run (src/surface): the metrics of
+ * one producer/queue/panel layer of a shared display, plus the buffer
+ * allocation the memory arbiter resolved for it.
+ */
+struct SurfaceReport {
+    std::string name;
+    std::string mode;       ///< "D-VSync" / "VSync"
+    int buffers = 0;        ///< queue capacity at run end
+    int extra_buffers = 0;  ///< peak arbiter-granted extra buffers
+    double buffer_mb = 0.0; ///< §6.4 memory cost of one extra buffer
+
+    double fdps = 0.0;
+    double fd_percent = 0.0;
+    std::uint64_t drops = 0;
+    std::int64_t frames_due = 0;
+    std::uint64_t presents = 0;
+    double latency_p95_ms = 0.0;
+
+    std::uint64_t invariant_violations = 0;
+    std::uint64_t degradations = 0;
+    std::uint64_t repromotions = 0;
+
+    friend bool operator==(const SurfaceReport &,
+                           const SurfaceReport &) = default;
+};
+
 /** Complete, self-contained outcome of one (or several averaged) runs. */
 struct RunReport {
     std::string label;    ///< free-form tag from the experiment point
@@ -78,6 +105,18 @@ struct RunReport {
     std::uint64_t degradations = 0;  ///< watchdog D-VSync -> VSync fall-backs
     std::uint64_t repromotions = 0;  ///< watchdog VSync -> D-VSync returns
     std::uint64_t dtv_resyncs = 0;   ///< DTV promise-chain resets
+
+    // ----- multi-surface composition (src/surface) ----------------------
+
+    /**
+     * Per-surface slices of a multi-surface run, in surface order; empty
+     * for single-surface runs (which keeps debug_string() byte-stable
+     * for every existing bench golden).
+     */
+    std::vector<SurfaceReport> surfaces;
+    double budget_mb = 0.0;      ///< extra-buffer memory budget (§6.4)
+    double budget_used_mb = 0.0; ///< peak extras memory in use
+    std::uint64_t rearbitrations = 0; ///< arbiter allocation passes
 
     /** Degrade/re-promote transition log ("t=<ns> ..."), run order. */
     std::vector<std::string> timeline;

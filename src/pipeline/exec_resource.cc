@@ -30,8 +30,14 @@ ExecResource::run(Time duration, std::function<void()> on_done)
     busy_until_ = end;
     total_busy_ += duration;
     ++jobs_;
-    sim_.events().schedule(end, std::move(on_done),
-                           EventPriority::kPipeline);
+    sim_.events().schedule(
+        end,
+        [this, fn = std::move(on_done)] {
+            fn();
+            for (auto &listener : done_listeners_)
+                listener();
+        },
+        EventPriority::kPipeline);
     return start;
 }
 

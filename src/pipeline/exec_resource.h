@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "sim/simulator.h"
 
@@ -54,6 +55,17 @@ class ExecResource
         cost_transform_ = std::move(fn);
     }
 
+    /**
+     * Register a callback invoked after every completed job (after its
+     * own on_done ran). A resource shared between several submitters — a
+     * device GPU under multi-surface composition — uses this to let the
+     * other contenders resume work parked behind the finished job.
+     */
+    void add_done_listener(std::function<void()> fn)
+    {
+        done_listeners_.push_back(std::move(fn));
+    }
+
     /** Cumulative busy time (for utilization and power accounting). */
     Time total_busy() const { return total_busy_; }
 
@@ -64,6 +76,7 @@ class ExecResource
     Simulator &sim_;
     std::string name_;
     CostTransform cost_transform_;
+    std::vector<std::function<void()>> done_listeners_;
     Time busy_until_ = 0;
     Time total_busy_ = 0;
     std::uint64_t jobs_ = 0;

@@ -20,6 +20,14 @@ Producer::Producer(Simulator &sim, Scenario scenario, BufferQueue &queue,
 }
 
 void
+Producer::use_shared_gpu(ExecResource &gpu)
+{
+    if (started_)
+        panic("use_shared_gpu after start()");
+    gpu_res_ = &gpu;
+}
+
+void
 Producer::set_pacer(FramePacer *pacer)
 {
     pacer_ = pacer;
@@ -286,12 +294,12 @@ Producer::on_render_done(std::uint64_t id, FrameBuffer *buf)
 void
 Producer::pump_gpu()
 {
-    if (pending_gpu_.empty() || !gpu_.idle())
+    if (pending_gpu_.empty() || !gpu_res_->idle())
         return;
     const auto [id, buf] = pending_gpu_.front();
     pending_gpu_.pop_front();
     FrameRecord &rec = records_[id];
-    rec.gpu_start = gpu_.run(rec.cost.gpu_time, [this, id, buf] {
+    rec.gpu_start = gpu_res_->run(rec.cost.gpu_time, [this, id, buf] {
         on_gpu_done(id, buf);
     });
 }

@@ -206,7 +206,23 @@ class Producer
 
     ExecResource &ui_thread() { return ui_thread_; }
     ExecResource &render_thread() { return render_thread_; }
-    ExecResource &gpu() { return gpu_; }
+    ExecResource &gpu() { return *gpu_res_; }
+
+    /**
+     * Route this producer's GPU submissions to a shared device GPU
+     * instead of the private one — several surfaces of one display
+     * contend for the same GPU (multi-surface composition). Must be
+     * called before start(); @p gpu must outlive the run.
+     */
+    void use_shared_gpu(ExecResource &gpu);
+
+    /**
+     * Resume GPU submissions parked behind another submitter's job on a
+     * shared GPU (wired to ExecResource::add_done_listener by the
+     * multi-surface system). No-op when nothing is pending or the GPU is
+     * still busy.
+     */
+    void kick_gpu() { pump_gpu(); }
 
     /** Frames whose UI stage ran (for cost accounting). */
     std::uint64_t frames_started() const { return records_.size(); }
@@ -235,6 +251,7 @@ class Producer
     ExecResource ui_thread_;
     ExecResource render_thread_;
     ExecResource gpu_;
+    ExecResource *gpu_res_ = &gpu_;
     FramePacer *pacer_ = nullptr;
     ContentSampler sampler_;
     ExtraCostFn extra_cost_;

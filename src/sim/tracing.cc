@@ -6,12 +6,18 @@
 namespace dvs {
 namespace {
 
-/** Minimal JSON string escaping (names are simple but be safe). */
+/**
+ * JSON string escaping. Track and event names come from workload and
+ * surface declarations, so any byte can show up here; control characters
+ * must be escaped or the exported trace is not valid JSON (RFC 8259
+ * forbids raw U+0000..U+001F inside strings).
+ */
 std::string
 escape(const std::string &s)
 {
     std::string out;
     out.reserve(s.size());
+    char buf[8];
     for (char c : s) {
         switch (c) {
           case '"':
@@ -23,8 +29,27 @@ escape(const std::string &s)
           case '\n':
             out += "\\n";
             break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
           default:
-            out += c;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
         }
     }
     return out;

@@ -1,0 +1,201 @@
+#include "surface/budget_arbiter.h"
+
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace dvs {
+
+const char *
+to_string(ArbiterPolicy p)
+{
+    switch (p) {
+      case ArbiterPolicy::kWeighted:
+        return "Arbiter";
+      case ArbiterPolicy::kEqualSplit:
+        return "EqualSplit";
+    }
+    return "?";
+}
+
+BufferBudgetArbiter::BufferBudgetArbiter(double budget_mb,
+                                         ArbiterPolicy policy)
+    : budget_mb_(budget_mb), policy_(policy)
+{
+    if (budget_mb < 0 || std::isnan(budget_mb))
+        fatal("arbiter budget must be >= 0 MB, got %g", budget_mb);
+}
+
+int
+BufferBudgetArbiter::add_surface(const std::string &name, double buffer_mb,
+                                 int max_extra, double weight,
+                                 bool dvsync_aware)
+{
+    if (buffer_mb <= 0)
+        fatal("surface %s: buffer_mb must be > 0, got %g", name.c_str(),
+              buffer_mb);
+    if (max_extra < 0)
+        fatal("surface %s: max_extra must be >= 0, got %d", name.c_str(),
+              max_extra);
+    Slot s;
+    s.name = name;
+    s.buffer_mb = buffer_mb;
+    s.max_extra = max_extra;
+    s.weight = weight;
+    s.aware = dvsync_aware;
+    surfaces_.push_back(std::move(s));
+    return int(surfaces_.size()) - 1;
+}
+
+const BufferBudgetArbiter::Slot &
+BufferBudgetArbiter::slot(int id) const
+{
+    if (id < 0 || id >= int(surfaces_.size()))
+        panic("arbiter: unknown surface id %d", id);
+    return surfaces_[std::size_t(id)];
+}
+
+int
+BufferBudgetArbiter::extra_of(int id) const
+{
+    return slot(id).extra;
+}
+
+int
+BufferBudgetArbiter::peak_extra_of(int id) const
+{
+    return slot(id).peak_extra;
+}
+
+bool
+BufferBudgetArbiter::eligible(int id) const
+{
+    const Slot &s = slot(id);
+    return s.aware && s.active && !s.degraded && s.max_extra > 0;
+}
+
+bool
+BufferBudgetArbiter::active(int id) const
+{
+    return slot(id).active;
+}
+
+bool
+BufferBudgetArbiter::degraded(int id) const
+{
+    return slot(id).degraded;
+}
+
+double
+BufferBudgetArbiter::used_mb() const
+{
+    double used = 0.0;
+    for (const Slot &s : surfaces_) {
+        if (s.active)
+            used += double(s.extra) * s.buffer_mb;
+    }
+    return used;
+}
+
+std::vector<int>
+BufferBudgetArbiter::allocate() const
+{
+    std::vector<int> extra(surfaces_.size(), 0);
+
+    if (policy_ == ArbiterPolicy::kEqualSplit) {
+        // The naive baseline: one equal memory share per active surface,
+        // demand- and awareness-blind. A share that lands on an
+        // oblivious surface still buys buffers (a deeper FIFO), but the
+        // memory cannot feed pre-rendering — that waste is exactly what
+        // the weighted arbiter avoids.
+        int n_active = 0;
+        for (const Slot &s : surfaces_)
+            n_active += s.active ? 1 : 0;
+        if (n_active == 0)
+            return extra;
+        const double share = budget_mb_ / double(n_active);
+        for (std::size_t i = 0; i < surfaces_.size(); ++i) {
+            const Slot &s = surfaces_[i];
+            if (!s.active)
+                continue;
+            const int affordable = int(share / s.buffer_mb);
+            extra[i] = std::min(s.max_extra, affordable);
+        }
+        return extra;
+    }
+
+    // Weighted greedy: grant one buffer at a time to the eligible
+    // surface with the highest weight per MB that still fits. Ties break
+    // toward the lower id, so allocation is deterministic.
+    double used = 0.0;
+    for (;;) {
+        int best = -1;
+        double best_score = 0.0;
+        for (std::size_t i = 0; i < surfaces_.size(); ++i) {
+            const Slot &s = surfaces_[i];
+            if (!s.active || !s.aware || s.degraded)
+                continue;
+            if (extra[i] >= s.max_extra)
+                continue;
+            if (used + s.buffer_mb > budget_mb_ + 1e-9)
+                continue;
+            const double score = s.weight / s.buffer_mb;
+            if (best < 0 || score > best_score) {
+                best = int(i);
+                best_score = score;
+            }
+        }
+        if (best < 0)
+            break;
+        ++extra[std::size_t(best)];
+        used += surfaces_[std::size_t(best)].buffer_mb;
+    }
+    return extra;
+}
+
+void
+BufferBudgetArbiter::arbitrate(Time now)
+{
+    const std::vector<int> extra = allocate();
+    for (std::size_t i = 0; i < surfaces_.size(); ++i) {
+        Slot &s = surfaces_[i];
+        s.peak_extra = std::max(s.peak_extra, extra[i]);
+        if (extra[i] == s.extra)
+            continue;
+        s.extra = extra[i];
+        if (apply_)
+            apply_(int(i), s.extra);
+    }
+    ++rearbitrations_;
+    peak_used_mb_ = std::max(peak_used_mb_, used_mb());
+    if (check_)
+        check_(now, used_mb(), budget_mb_);
+}
+
+void
+BufferBudgetArbiter::on_surface_exit(int id, Time now)
+{
+    slot(id); // bounds check
+    Slot &s = surfaces_[std::size_t(id)];
+    if (!s.active)
+        return;
+    s.active = false;
+    // The exited surface's grant returns to the pool; its queue is not
+    // resized (nothing renders into it anymore, and its slots drain as
+    // the display consumes them).
+    s.extra = 0;
+    arbitrate(now);
+}
+
+void
+BufferBudgetArbiter::on_surface_degraded(int id, bool degraded, Time now)
+{
+    slot(id); // bounds check
+    Slot &s = surfaces_[std::size_t(id)];
+    if (s.degraded == degraded)
+        return;
+    s.degraded = degraded;
+    arbitrate(now);
+}
+
+} // namespace dvs

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * BufferBudgetArbiter: device-wide extra-buffer memory arbitration.
+ *
+ * §6.4 prices D-VSync's pre-rendering at ~10-15 MB of buffer memory per
+ * extra buffer *per surface*; on a device running several surfaces that
+ * memory comes out of one budget, so each surface's pre-render depth
+ * trades off against every other surface's. The arbiter owns that
+ * trade-off: it allocates extra buffers (beyond each surface's baseline
+ * queue capacity) under a device-wide budget and re-arbitrates online
+ * when a surface appears, exits, or is degraded to the VSync fallback by
+ * the runtime watchdog.
+ *
+ * Two policies, so the bench can quantify what arbitration buys:
+ *  - kWeighted (the arbiter proper): extras go one buffer at a time to
+ *    the eligible surface with the highest weight-per-MB — D-VSync-aware,
+ *    active, not degraded, under its cap, and fitting the remaining
+ *    budget. Oblivious surfaces never receive extras (they cannot
+ *    pre-render into them).
+ *  - kEqualSplit (the naive baseline): the budget is divided equally
+ *    among active surfaces regardless of awareness or demand; each
+ *    surface converts its share into as many buffers as fit. Memory
+ *    granted to an oblivious or light surface is simply wasted.
+ *
+ * Allocation is deterministic: surfaces are considered in registration
+ * order and ties break toward the lower id. The arbiter never exceeds
+ * the budget; an InvariantMonitor hook re-checks that after every pass.
+ */
+
+#ifndef DVS_SURFACE_BUDGET_ARBITER_H
+#define DVS_SURFACE_BUDGET_ARBITER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dvs {
+
+/** Allocation policy of the arbiter. */
+enum class ArbiterPolicy {
+    kWeighted,   ///< demand-weighted greedy (the arbiter proper)
+    kEqualSplit, ///< naive equal division baseline
+};
+
+const char *to_string(ArbiterPolicy p);
+
+/**
+ * Allocates extra pre-render buffers across surfaces under one memory
+ * budget. Pure decision logic: applying an allocation (resizing queues,
+ * reconfiguring FPE limits) happens through the apply callback, so the
+ * arbiter is unit-testable without a pipeline.
+ */
+class BufferBudgetArbiter
+{
+  public:
+    /** Invoked for every surface whose extra-buffer grant changed. */
+    using ApplyFn = std::function<void(int surface, int extra_buffers)>;
+
+    /** Invoked after every pass with the resulting memory use. */
+    using BudgetCheck =
+        std::function<void(Time now, double used_mb, double budget_mb)>;
+
+    BufferBudgetArbiter(double budget_mb, ArbiterPolicy policy);
+
+    /**
+     * Register a surface.
+     * @return its id (registration order, dense from 0).
+     */
+    int add_surface(const std::string &name, double buffer_mb,
+                    int max_extra, double weight, bool dvsync_aware);
+
+    void set_apply(ApplyFn fn) { apply_ = std::move(fn); }
+    void set_budget_check(BudgetCheck fn) { check_ = std::move(fn); }
+
+    /**
+     * Run one allocation pass and apply every changed grant. Call once
+     * after registration, then on every lifecycle event (the exit /
+     * degradation entry points below call it themselves).
+     */
+    void arbitrate(Time now);
+
+    /** Surface @p id left the display; its extras return to the pool. */
+    void on_surface_exit(int id, Time now);
+
+    /**
+     * Surface @p id was degraded to the VSync fallback (true) or
+     * re-promoted (false) by the runtime watchdog. A degraded surface
+     * cannot pre-render, so its extras return to the pool until it
+     * recovers.
+     */
+    void on_surface_degraded(int id, bool degraded, Time now);
+
+    // ----- introspection ----------------------------------------------
+
+    double budget_mb() const { return budget_mb_; }
+    ArbiterPolicy policy() const { return policy_; }
+    std::size_t size() const { return surfaces_.size(); }
+
+    /** Extra buffers currently granted to surface @p id. */
+    int extra_of(int id) const;
+
+    /** Highest grant surface @p id ever held (reporting: by run end
+     *  every surface has exited and current grants read zero). */
+    int peak_extra_of(int id) const;
+
+    /** Extra-buffer memory currently in use across active surfaces. */
+    double used_mb() const;
+
+    /** Highest memory use any allocation pass reached. */
+    double peak_used_mb() const { return peak_used_mb_; }
+
+    /** Whether surface @p id can currently hold extras. */
+    bool eligible(int id) const;
+
+    bool active(int id) const;
+    bool degraded(int id) const;
+
+    /** Allocation passes run (including the initial one). */
+    std::uint64_t rearbitrations() const { return rearbitrations_; }
+
+  private:
+    struct Slot {
+        std::string name;
+        double buffer_mb = 12.0;
+        int max_extra = 0;
+        double weight = 1.0;
+        bool aware = true;
+        bool active = true;
+        bool degraded = false;
+        int extra = 0;
+        int peak_extra = 0;
+    };
+
+    const Slot &slot(int id) const;
+    std::vector<int> allocate() const;
+
+    double budget_mb_;
+    ArbiterPolicy policy_;
+    std::vector<Slot> surfaces_;
+    ApplyFn apply_;
+    BudgetCheck check_;
+    std::uint64_t rearbitrations_ = 0;
+    double peak_used_mb_ = 0.0;
+};
+
+} // namespace dvs
+
+#endif // DVS_SURFACE_BUDGET_ARBITER_H

@@ -31,7 +31,11 @@ FrameTrace::from_csv(const std::string &csv)
     FrameTrace t;
     std::istringstream in(csv);
     std::string line;
+    long line_no = 0;
+    bool saw_header = false;
+    bool warned_missing_header = false;
     while (std::getline(in, line)) {
+        ++line_no;
         if (line.empty())
             continue;
         if (line.rfind("# trace: ", 0) == 0) {
@@ -42,13 +46,22 @@ FrameTrace::from_csv(const std::string &csv)
             t.rate_hz = std::atof(line.c_str() + 11);
             continue;
         }
-        if (line.rfind("ui_us", 0) == 0 || line[0] == '#')
+        if (line.rfind("ui_us", 0) == 0) {
+            saw_header = true;
             continue;
+        }
+        if (line[0] == '#')
+            continue;
+        if (!saw_header && !warned_missing_header) {
+            warned_missing_header = true;
+            warn("trace line %ld: data row before ui_us header", line_no);
+        }
         double ui_us = 0, render_us = 0, gpu_us = 0;
         const int fields = std::sscanf(line.c_str(), "%lf,%lf,%lf",
                                        &ui_us, &render_us, &gpu_us);
         if (fields < 2) {
-            warn("malformed trace row ignored: %s", line.c_str());
+            warn("trace line %ld: malformed row ignored: %s", line_no,
+                 line.c_str());
             continue;
         }
         t.frames.push_back(FrameCost{from_us(ui_us), from_us(render_us),

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * BufferBudgetArbiter unit tests: allocation under both policies,
+ * lifecycle re-arbitration (exit, degrade/revive), and the budget
+ * invariant. Pure decision-logic tests — no pipeline involved; the
+ * system-level behavior lives in test_surface.cpp.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "surface/budget_arbiter.h"
+
+using namespace dvs;
+
+namespace {
+
+/** Records every apply callback for assertions. */
+struct ApplyLog {
+    std::vector<std::pair<int, int>> changes;
+
+    BufferBudgetArbiter::ApplyFn fn()
+    {
+        return [this](int surface, int extra) {
+            changes.emplace_back(surface, extra);
+        };
+    }
+};
+
+} // namespace
+
+TEST(Arbiter, GrantsByWeightPerMbUnderBudget)
+{
+    BufferBudgetArbiter arb(36.0, ArbiterPolicy::kWeighted);
+    const int heavy = arb.add_surface("game", 12.0, 4, 4.0, true);
+    const int light = arb.add_surface("status", 12.0, 4, 1.0, true);
+    arb.arbitrate(0);
+
+    // 3 buffers fit; the heavy surface's weight/MB wins every grant
+    // until its cap, then the light one gets the remainder.
+    EXPECT_EQ(arb.extra_of(heavy), 3);
+    EXPECT_EQ(arb.extra_of(light), 0);
+    EXPECT_DOUBLE_EQ(arb.used_mb(), 36.0);
+}
+
+TEST(Arbiter, RespectsPerSurfaceCap)
+{
+    BufferBudgetArbiter arb(60.0, ArbiterPolicy::kWeighted);
+    const int a = arb.add_surface("a", 12.0, 2, 5.0, true);
+    const int b = arb.add_surface("b", 12.0, 4, 1.0, true);
+    arb.arbitrate(0);
+
+    EXPECT_EQ(arb.extra_of(a), 2); // capped despite the higher weight
+    EXPECT_EQ(arb.extra_of(b), 3); // remaining 36 MB
+}
+
+TEST(Arbiter, TieBreaksTowardLowerId)
+{
+    BufferBudgetArbiter arb(12.0, ArbiterPolicy::kWeighted);
+    const int first = arb.add_surface("first", 12.0, 4, 1.0, true);
+    const int second = arb.add_surface("second", 12.0, 4, 1.0, true);
+    arb.arbitrate(0);
+
+    EXPECT_EQ(arb.extra_of(first), 1);
+    EXPECT_EQ(arb.extra_of(second), 0);
+}
+
+TEST(Arbiter, BudgetSmallerThanOneBufferGrantsNothing)
+{
+    // The edge the ISSUE calls out: a budget below the cheapest
+    // surface's buffer cost must allocate zero everywhere, not
+    // round up into an over-budget grant.
+    BufferBudgetArbiter arb(9.0, ArbiterPolicy::kWeighted);
+    const int a = arb.add_surface("a", 12.0, 4, 3.0, true);
+    const int b = arb.add_surface("b", 15.0, 4, 1.0, true);
+
+    double checked_used = -1.0, checked_budget = -1.0;
+    arb.set_budget_check([&](Time, double used, double budget) {
+        checked_used = used;
+        checked_budget = budget;
+    });
+    arb.arbitrate(0);
+
+    EXPECT_EQ(arb.extra_of(a), 0);
+    EXPECT_EQ(arb.extra_of(b), 0);
+    EXPECT_DOUBLE_EQ(arb.used_mb(), 0.0);
+    EXPECT_DOUBLE_EQ(checked_used, 0.0);
+    EXPECT_DOUBLE_EQ(checked_budget, 9.0);
+}
+
+TEST(Arbiter, ZeroBudgetIsValidAndGrantsNothing)
+{
+    BufferBudgetArbiter arb(0.0, ArbiterPolicy::kWeighted);
+    const int a = arb.add_surface("a", 12.0, 4, 1.0, true);
+    arb.arbitrate(0);
+    EXPECT_EQ(arb.extra_of(a), 0);
+}
+
+TEST(Arbiter, ObliviousOnlyMixIsNoOp)
+{
+    BufferBudgetArbiter arb(100.0, ArbiterPolicy::kWeighted);
+    const int a = arb.add_surface("a", 12.0, 4, 1.0, false);
+    const int b = arb.add_surface("b", 12.0, 4, 9.0, false);
+
+    ApplyLog log;
+    arb.set_apply(log.fn());
+    arb.arbitrate(0);
+
+    // Oblivious surfaces cannot pre-render: the weighted arbiter never
+    // grants them memory no matter the budget, and nothing changes so
+    // the apply callback stays silent.
+    EXPECT_EQ(arb.extra_of(a), 0);
+    EXPECT_EQ(arb.extra_of(b), 0);
+    EXPECT_FALSE(arb.eligible(a));
+    EXPECT_TRUE(log.changes.empty());
+    EXPECT_DOUBLE_EQ(arb.used_mb(), 0.0);
+}
+
+TEST(Arbiter, EqualSplitWastesSharesOnObliviousSurfaces)
+{
+    // 24 MB across an aware and an oblivious surface: each share of
+    // 12 MB buys one buffer, but the oblivious surface's buffer cannot
+    // feed pre-rendering. The weighted policy gives both buffers to the
+    // aware surface instead.
+    BufferBudgetArbiter equal(24.0, ArbiterPolicy::kEqualSplit);
+    const int ea = equal.add_surface("aware", 12.0, 4, 1.0, true);
+    const int eo = equal.add_surface("oblivious", 12.0, 4, 1.0, false);
+    equal.arbitrate(0);
+    EXPECT_EQ(equal.extra_of(ea), 1);
+    EXPECT_EQ(equal.extra_of(eo), 1);
+
+    BufferBudgetArbiter weighted(24.0, ArbiterPolicy::kWeighted);
+    const int wa = weighted.add_surface("aware", 12.0, 4, 1.0, true);
+    const int wo = weighted.add_surface("oblivious", 12.0, 4, 1.0, false);
+    weighted.arbitrate(0);
+    EXPECT_EQ(weighted.extra_of(wa), 2);
+    EXPECT_EQ(weighted.extra_of(wo), 0);
+}
+
+TEST(Arbiter, EqualSplitShareBelowBufferCostGrantsNothing)
+{
+    BufferBudgetArbiter arb(20.0, ArbiterPolicy::kEqualSplit);
+    const int a = arb.add_surface("a", 12.0, 4, 1.0, true);
+    const int b = arb.add_surface("b", 12.0, 4, 1.0, true);
+    arb.arbitrate(0);
+    // 10 MB per share < 12 MB per buffer.
+    EXPECT_EQ(arb.extra_of(a), 0);
+    EXPECT_EQ(arb.extra_of(b), 0);
+}
+
+TEST(Arbiter, SurfaceExitReturnsBudgetToSurvivors)
+{
+    BufferBudgetArbiter arb(24.0, ArbiterPolicy::kWeighted);
+    const int a = arb.add_surface("a", 12.0, 4, 2.0, true);
+    const int b = arb.add_surface("b", 12.0, 4, 1.0, true);
+    arb.arbitrate(0);
+    EXPECT_EQ(arb.extra_of(a), 2);
+    EXPECT_EQ(arb.extra_of(b), 0);
+
+    arb.on_surface_exit(a, 1000);
+    EXPECT_FALSE(arb.active(a));
+    EXPECT_EQ(arb.extra_of(a), 0);
+    EXPECT_EQ(arb.extra_of(b), 2); // the freed 24 MB re-arbitrated
+    EXPECT_DOUBLE_EQ(arb.used_mb(), 24.0);
+
+    // A second exit notification is idempotent.
+    const std::uint64_t passes = arb.rearbitrations();
+    arb.on_surface_exit(a, 2000);
+    EXPECT_EQ(arb.rearbitrations(), passes);
+}
+
+TEST(Arbiter, DegradeFreesAndReviveRegrants)
+{
+    BufferBudgetArbiter arb(24.0, ArbiterPolicy::kWeighted);
+    const int a = arb.add_surface("a", 12.0, 4, 2.0, true);
+    const int b = arb.add_surface("b", 12.0, 4, 1.0, true);
+    arb.arbitrate(0);
+    EXPECT_EQ(arb.extra_of(a), 2);
+
+    // Degraded to the VSync fallback: pre-render memory is useless to
+    // it, so the grant moves to the healthy surface.
+    arb.on_surface_degraded(a, true, 1000);
+    EXPECT_TRUE(arb.degraded(a));
+    EXPECT_FALSE(arb.eligible(a));
+    EXPECT_EQ(arb.extra_of(a), 0);
+    EXPECT_EQ(arb.extra_of(b), 2);
+
+    // Re-promoted: the weights win the memory back.
+    arb.on_surface_degraded(a, false, 2000);
+    EXPECT_EQ(arb.extra_of(a), 2);
+    EXPECT_EQ(arb.extra_of(b), 0);
+
+    // Redundant notification does not re-arbitrate.
+    const std::uint64_t passes = arb.rearbitrations();
+    arb.on_surface_degraded(a, false, 3000);
+    EXPECT_EQ(arb.rearbitrations(), passes);
+}
+
+TEST(Arbiter, NeverExceedsBudgetAcrossLifecycleChurn)
+{
+    BufferBudgetArbiter arb(40.0, ArbiterPolicy::kWeighted);
+    arb.add_surface("a", 12.0, 4, 3.0, true);
+    arb.add_surface("b", 15.0, 4, 2.0, true);
+    arb.add_surface("c", 10.0, 4, 1.0, true);
+
+    double max_used = 0.0;
+    arb.set_budget_check([&](Time, double used, double budget) {
+        EXPECT_LE(used, budget + 1e-9);
+        max_used = std::max(max_used, used);
+    });
+
+    arb.arbitrate(0);
+    arb.on_surface_degraded(0, true, 1);
+    arb.on_surface_degraded(0, false, 2);
+    arb.on_surface_exit(1, 3);
+    arb.on_surface_degraded(2, true, 4);
+    arb.on_surface_exit(0, 5);
+    arb.on_surface_degraded(2, false, 6);
+
+    EXPECT_GT(max_used, 0.0);
+    EXPECT_GE(arb.rearbitrations(), 7u);
+}
+
+TEST(Arbiter, AllocationIsDeterministic)
+{
+    auto build = [] {
+        BufferBudgetArbiter arb(47.0, ArbiterPolicy::kWeighted);
+        arb.add_surface("a", 12.0, 3, 2.5, true);
+        arb.add_surface("b", 15.0, 2, 2.5, true);
+        arb.add_surface("c", 10.0, 4, 1.0, false);
+        arb.arbitrate(0);
+        return std::vector<int>{arb.extra_of(0), arb.extra_of(1),
+                                arb.extra_of(2)};
+    };
+    EXPECT_EQ(build(), build());
+}
+
+TEST(Arbiter, ApplyReportsOnlyChangedGrants)
+{
+    BufferBudgetArbiter arb(24.0, ArbiterPolicy::kWeighted);
+    arb.add_surface("a", 12.0, 4, 2.0, true);
+    arb.add_surface("b", 12.0, 4, 1.0, true);
+
+    ApplyLog log;
+    arb.set_apply(log.fn());
+    arb.arbitrate(0);
+    ASSERT_EQ(log.changes.size(), 1u);
+    EXPECT_EQ(log.changes[0], std::make_pair(0, 2));
+
+    // Nothing changed: re-arbitrating must not re-apply.
+    arb.arbitrate(1);
+    EXPECT_EQ(log.changes.size(), 1u);
+}

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "core/render_system.h"
@@ -55,6 +57,207 @@ TEST(TraceLog, EscapesSpecialCharacters)
     log.instant("t", "a\"b\\c", 0);
     const std::string json = log.to_json();
     EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+}
+
+TEST(TraceLog, EscapesControlCharacters)
+{
+    TraceLog log;
+    log.instant("t", "tab\there", 0);
+    log.instant("t", "cr\rlf\n", 1);
+    log.instant("t", std::string("nul\x01" "bel\x07", 8), 2);
+    const std::string json = log.to_json();
+    EXPECT_NE(json.find("tab\\there"), std::string::npos);
+    EXPECT_NE(json.find("cr\\rlf\\n"), std::string::npos);
+    EXPECT_NE(json.find("nul\\u0001bel\\u0007"), std::string::npos);
+    // No raw control byte may survive into the serialized text.
+    for (char c : json)
+        EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n')
+            << "raw control byte " << int(c) << " in JSON output";
+}
+
+namespace {
+
+/**
+ * Minimal JSON validity checker (RFC 8259 subset, no unicode decoding):
+ * enough to prove the exported trace parses, which raw control bytes or
+ * bad escapes would break.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    bool valid()
+    {
+        skip_ws();
+        if (!value())
+            return false;
+        skip_ws();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool object()
+    {
+        ++pos_; // '{'
+        skip_ws();
+        if (peek() == '}')
+            return ++pos_, true;
+        for (;;) {
+            skip_ws();
+            if (!string())
+                return false;
+            skip_ws();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skip_ws();
+            if (!value())
+                return false;
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}')
+                return ++pos_, true;
+            return false;
+        }
+    }
+
+    bool array()
+    {
+        ++pos_; // '['
+        skip_ws();
+        if (peek() == ']')
+            return ++pos_, true;
+        for (;;) {
+            skip_ws();
+            if (!value())
+                return false;
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']')
+                return ++pos_, true;
+            return false;
+        }
+    }
+
+    bool string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size()) {
+            const unsigned char c = (unsigned char)s_[pos_];
+            if (c == '"')
+                return ++pos_, true;
+            if (c < 0x20)
+                return false; // raw control byte: invalid JSON
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+                const char e = s_[pos_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= s_.size() || !std::isxdigit(
+                                (unsigned char)s_[pos_]))
+                            return false;
+                    }
+                } else if (!std::strchr("\"\\/bfnrt", e)) {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false;
+    }
+
+    bool number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit((unsigned char)s_[pos_]) ||
+                std::strchr(".eE+-", s_[pos_])))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (s_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    void skip_ws()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+                s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+TEST(TraceLog, ControlCharacterNamesRoundTripAsValidJson)
+{
+    TraceLog log;
+    log.duration("ui\tthread", "frame\n0", 0, 1_ms);
+    log.instant("t\r2", std::string("x\x02y", 3), 2_ms);
+    log.counter("depth\b", 3_ms, 4.0);
+    EXPECT_TRUE(JsonChecker(log.to_json()).valid());
+}
+
+TEST(TraceLog, ExportedRunTraceIsValidJson)
+{
+    SystemConfig cfg;
+    cfg.mode = RenderMode::kDvsync;
+    Scenario sc("json check");
+    sc.animate(200_ms, std::make_shared<ConstantCostModel>(1_ms, 3_ms));
+    RenderSystem sys(cfg, sc);
+    sys.run();
+    TraceLog log;
+    sys.export_trace(log);
+    ASSERT_FALSE(log.empty());
+    EXPECT_TRUE(JsonChecker(log.to_json()).valid());
 }
 
 TEST(TraceLog, SaveWritesFile)

@@ -169,6 +169,44 @@ TEST(Trace, MalformedRowsIgnored)
     EXPECT_EQ(t.frames.size(), 2u);
 }
 
+TEST(Trace, NonNumericRowWarnsWithLineNumber)
+{
+    ::testing::internal::CaptureStderr();
+    const FrameTrace t = FrameTrace::from_csv(
+        "# trace: bad\nui_us,render_us,gpu_us\n1.0,2.0,0\nnot,a,number\n");
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(t.frames.size(), 1u);
+    EXPECT_NE(err.find("line 4"), std::string::npos) << err;
+    EXPECT_NE(err.find("malformed row"), std::string::npos) << err;
+}
+
+TEST(Trace, TruncatedRowWarnsWithLineNumber)
+{
+    // A single field is not a frame: ui and render are both required.
+    ::testing::internal::CaptureStderr();
+    const FrameTrace t =
+        FrameTrace::from_csv("ui_us,render_us,gpu_us\n5.0\n1.0,2.0,3.0\n");
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    ASSERT_EQ(t.frames.size(), 1u);
+    EXPECT_EQ(t.frames[0].ui_time, 1_us);
+    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
+TEST(Trace, MissingHeaderWarnsOnceButStillParses)
+{
+    ::testing::internal::CaptureStderr();
+    const FrameTrace t = FrameTrace::from_csv("1.0,2.0\n3.0,4.0\n");
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    // Rows parse anyway (the format is self-describing enough), but the
+    // missing ui_us header is diagnosed exactly once, with its line.
+    EXPECT_EQ(t.frames.size(), 2u);
+    EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+    EXPECT_NE(err.find("before ui_us header"), std::string::npos) << err;
+    EXPECT_EQ(err.find("before ui_us header"),
+              err.rfind("before ui_us header"))
+        << "warned more than once: " << err;
+}
+
 TEST(Trace, ReplayWrapsAround)
 {
     FrameTrace t;
