@@ -12,13 +12,19 @@
  * pair.
  *
  * Usage: chaos_campaign [--seeds=N] [--jobs=N] [--out=PATH] [--golden]
+ *                       [--forensics=PATH]
  *   --seeds=N    seeds per (mix, mode) cell (default 50)
  *   --out=PATH   where to write the JSON record (default
  *                BENCH_chaos.json; "-" suppresses the file)
  *   --golden     deterministic single-seed replay dump for the golden
  *                check (prints fault plans + per-run reports, no JSON)
+ *   --forensics=PATH  additionally run the canonical specimen (the
+ *                everything mix, seed 1, D-VSync) with frame forensics
+ *                on and write its dump JSON to PATH — feed it to
+ *                dvsync_inspect
  *
- * Exits nonzero when any run violates an invariant or fails.
+ * Exits nonzero when any run violates an invariant, fails, or drops a
+ * frame the classifier cannot attribute to a cause.
  */
 
 #include <cstdio>
@@ -72,6 +78,7 @@ main(int argc, char **argv)
     int seeds = 50;
     bool golden = false;
     std::string out_path = "BENCH_chaos.json";
+    std::string forensics_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--seeds=", 8) == 0)
             seeds = std::atoi(argv[i] + 8);
@@ -79,6 +86,8 @@ main(int argc, char **argv)
             out_path = argv[i] + 6;
         else if (std::strcmp(argv[i], "--golden") == 0)
             golden = true;
+        else if (std::strncmp(argv[i], "--forensics=", 12) == 0)
+            forensics_path = argv[i] + 12;
     }
     if (seeds < 1)
         fatal("--seeds must be >= 1");
@@ -172,8 +181,55 @@ main(int argc, char **argv)
                     (unsigned long long)c.drops,
                     (unsigned long long)c.degradations, c.errors);
     }
+    // Root-cause roll-up: every drop in the campaign must carry a cause.
+    std::uint64_t cause_totals[kDropCauseCount] = {};
+    std::uint64_t injected_drops = 0;
+    std::uint64_t total_drops = 0;
+    for (const RunReport &r : reports) {
+        for (int c = 0; c < kDropCauseCount; ++c)
+            cause_totals[c] += r.drop_causes[c];
+        injected_drops += r.drops_injected;
+        total_drops += r.drops;
+    }
+    std::printf("\ndrop causes (all runs):");
+    for (int c = 0; c < kDropCauseCount; ++c) {
+        if (cause_totals[c] > 0)
+            std::printf(" %s=%llu", to_string(DropCause(c)),
+                        (unsigned long long)cause_totals[c]);
+    }
+    std::printf(" | injected %llu of %llu drops\n",
+                (unsigned long long)injected_drops,
+                (unsigned long long)total_drops);
+
     std::printf("\ntotal: %llu violations, %d failed runs\n",
                 (unsigned long long)total_violations, total_errors);
+
+    if (!forensics_path.empty()) {
+        // The canonical forensics specimen: the everything mix under
+        // D-VSync at seed 1, with the metrics sampler on.
+        const FaultMix *everything = &mixes.back();
+        for (const FaultMix &mix : mixes) {
+            if (mix.name == "everything")
+                everything = &mix;
+        }
+        SystemConfig cfg =
+            SystemConfig()
+                .with_mode(RenderMode::kDvsync)
+                .with_seed(1)
+                .with_forensics(true)
+                .with_faults(std::make_shared<const FaultPlan>(
+                    FaultPlan::generate(1, horizon, *everything)));
+        // Dense per-refresh series: this specimen exists to be
+        // inspected, not to bound overhead.
+        cfg.metrics_interval = cfg.device.period();
+        RenderSystem sys(cfg, scenario);
+        sys.run();
+        if (!sys.save_forensics(forensics_path))
+            fatal("cannot write forensics dump %s", forensics_path.c_str());
+        // stderr: the path is caller-chosen and must not pollute goldens.
+        std::fprintf(stderr, "forensics dump written to %s\n",
+                     forensics_path.c_str());
+    }
 
     if (out_path != "-") {
         FILE *f = std::fopen(out_path.c_str(), "w");
@@ -212,7 +268,14 @@ main(int argc, char **argv)
         std::printf("chaos record written to %s\n", out_path.c_str());
     }
 
-    if (total_violations > 0 || total_errors > 0) {
+    bool failed = total_violations > 0 || total_errors > 0;
+    if (cause_totals[int(DropCause::kUnknown)] > 0) {
+        std::printf("UNATTRIBUTED DROPS: %llu frames carry no cause\n",
+                    (unsigned long long)
+                        cause_totals[int(DropCause::kUnknown)]);
+        failed = true;
+    }
+    if (failed) {
         std::printf("CHAOS CAMPAIGN FAILED\n");
         return 1;
     }

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * dvsync_inspect: read a frame-forensics dump and explain it.
+ *
+ * Input is the JSON written by RenderSystem::save_forensics /
+ * MultiSurfaceSystem::save_forensics (or `chaos_campaign
+ * --forensics=PATH`). The tool prints the run header, the per-cause
+ * drop breakdown, the dropped refreshes with their attributed causes,
+ * and the top-k worst frames by present latency — each with its full
+ * causal span chain (input → UI → render → GPU → queue → display).
+ *
+ * Usage: dvsync_inspect DUMP.json [--top=K] [--golden]
+ *   --top=K    how many worst frames / drops to detail (default 5)
+ *   --golden   golden-check mode; output is already deterministic, the
+ *              flag only asserts no environment-dependent lines sneak in
+ *
+ * Exits nonzero when the dump cannot be read or parsed, or when any
+ * drop in it carries an unknown cause — a fully wired system must
+ * attribute every drop, so an unknown-cause dump is a regression.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/drop_cause.h"
+#include "obs/json_view.h"
+
+using namespace dvs;
+
+namespace {
+
+double
+ms(double ns)
+{
+    return ns / 1e6;
+}
+
+struct RankedFrame {
+    const JsonValue *frame = nullptr;
+    const JsonValue *surface = nullptr;
+    double latency_ns = 0.0;
+};
+
+void
+print_chain(const JsonValue &frame)
+{
+    for (const JsonValue &s : frame.at("spans").items()) {
+        const double t0 = s.number_at("t0");
+        const double t1 = s.number_at("t1", -1.0);
+        if (t1 >= t0) {
+            std::printf("      %-15s @%9.3fms  +%8.3fms\n",
+                        s.string_at("stage").c_str(), ms(t0),
+                        ms(t1 - t0));
+        } else {
+            std::printf("      %-15s @%9.3fms  +open\n",
+                        s.string_at("stage").c_str(), ms(t0));
+        }
+    }
+}
+
+std::string
+frame_title(const JsonValue &frame, const JsonValue &surface)
+{
+    char buf[128];
+    const std::string name = surface.string_at("name");
+    std::snprintf(buf, sizeof(buf), "%s%sframe %lld.%lld%s", name.c_str(),
+                  name.empty() ? "" : " ",
+                  (long long)frame.number_at("seg"),
+                  (long long)frame.number_at("slot"),
+                  frame.at("pre").as_bool() ? " (pre)" : "");
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    int top = 5;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--top=", 6) == 0)
+            top = std::atoi(argv[i] + 6);
+        else if (std::strcmp(argv[i], "--golden") == 0)
+            ; // output is deterministic either way
+        else
+            path = argv[i];
+    }
+    if (path.empty() || top < 1) {
+        std::fprintf(stderr,
+                     "usage: dvsync_inspect DUMP.json [--top=K] "
+                     "[--golden]\n");
+        return 2;
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "dvsync_inspect: cannot open %s\n",
+                     path.c_str());
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    std::string error;
+    const JsonValue dump = JsonValue::parse(text.str(), &error);
+    if (dump.is_null()) {
+        std::fprintf(stderr, "dvsync_inspect: parse error: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    if (dump.string_at("source") != "dvsync-forensics") {
+        std::fprintf(stderr,
+                     "dvsync_inspect: not a forensics dump (source=%s)\n",
+                     dump.string_at("source", "?").c_str());
+        return 1;
+    }
+
+    const std::vector<JsonValue> &surfaces = dump.at("surfaces").items();
+
+    // ----- header + aggregate cause breakdown -------------------------
+    std::uint64_t frames = 0, presents = 0;
+    std::uint64_t causes[kDropCauseCount] = {};
+    std::uint64_t drops = 0, injected = 0;
+    for (const JsonValue &sf : surfaces) {
+        for (const JsonValue &f : sf.at("frames").items()) {
+            ++frames;
+            if (f.number_at("present", -1.0) >= 0.0)
+                ++presents;
+        }
+        for (int c = 0; c < kDropCauseCount; ++c) {
+            const std::uint64_t n = std::uint64_t(
+                sf.at("causes").number_at(to_string(DropCause(c))));
+            causes[c] += n;
+            drops += n;
+        }
+        injected += std::uint64_t(sf.number_at("injected_drops"));
+    }
+
+    std::printf("forensics: scenario=%s mode=%s surfaces=%zu\n",
+                dump.string_at("scenario", "?").c_str(),
+                dump.string_at("mode", "?").c_str(), surfaces.size());
+    std::printf("frames=%llu presented=%llu dropped_refreshes=%llu "
+                "(injected %llu)\n",
+                (unsigned long long)frames, (unsigned long long)presents,
+                (unsigned long long)drops, (unsigned long long)injected);
+
+    std::printf("\ndrop causes:\n");
+    std::printf("  %-15s %6s %7s\n", "cause", "count", "share");
+    for (int c = 0; c < kDropCauseCount; ++c) {
+        if (causes[c] == 0)
+            continue;
+        std::printf("  %-15s %6llu %6.1f%%\n", to_string(DropCause(c)),
+                    (unsigned long long)causes[c],
+                    drops ? 100.0 * double(causes[c]) / double(drops)
+                          : 0.0);
+    }
+    if (drops == 0)
+        std::printf("  (no drops)\n");
+
+    // ----- dropped refreshes, worst-first -----------------------------
+    if (drops > 0) {
+        std::printf("\ndropped refreshes (first %d):\n", top);
+        int shown = 0;
+        for (const JsonValue &sf : surfaces) {
+            for (const JsonValue &d : sf.at("drops").items()) {
+                if (shown++ >= top)
+                    break;
+                std::printf("  @%9.3fms refresh=%-4lld cause=%s%s",
+                            ms(d.number_at("t")),
+                            (long long)d.number_at("refresh"),
+                            d.string_at("cause").c_str(),
+                            d.at("injected").as_bool() ? " (injected)"
+                                                       : "");
+                const std::string name = sf.string_at("name");
+                if (!name.empty())
+                    std::printf(" surface=%s", name.c_str());
+                std::printf("\n");
+            }
+        }
+    }
+
+    // ----- top-k worst frames by present latency ----------------------
+    std::vector<RankedFrame> ranked;
+    for (const JsonValue &sf : surfaces) {
+        for (const JsonValue &f : sf.at("frames").items()) {
+            const double present = f.number_at("present", -1.0);
+            const double timeline = f.number_at("timeline", -1.0);
+            if (present < 0.0 || timeline < 0.0)
+                continue;
+            ranked.push_back(RankedFrame{&f, &sf, present - timeline});
+        }
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const RankedFrame &a, const RankedFrame &b) {
+                         return a.latency_ns > b.latency_ns;
+                     });
+    if (ranked.size() > std::size_t(top))
+        ranked.resize(std::size_t(top));
+
+    std::printf("\nworst presented frames (by latency), top %d:\n", top);
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+        const RankedFrame &r = ranked[i];
+        std::printf("  #%zu %s latency=%.3fms trigger=%.3fms "
+                    "present=%.3fms\n",
+                    i + 1, frame_title(*r.frame, *r.surface).c_str(),
+                    ms(r.latency_ns), ms(r.frame->number_at("trigger")),
+                    ms(r.frame->number_at("present")));
+        print_chain(*r.frame);
+    }
+    if (ranked.empty())
+        std::printf("  (no presented frames)\n");
+
+    // ----- metrics footer ---------------------------------------------
+    const JsonValue &metrics = dump.at("metrics");
+    if (metrics.is_object()) {
+        const std::vector<JsonValue> &series = metrics.at("metrics").items();
+        std::printf("\nmetrics: %zu series", series.size());
+        std::size_t samples = 0;
+        for (const JsonValue &m : series)
+            samples = std::max(samples, m.at("samples").items().size());
+        std::printf(", %zu samples at peak cadence\n", samples);
+    }
+
+    if (causes[int(DropCause::kUnknown)] > 0) {
+        std::fprintf(stderr,
+                     "dvsync_inspect: %llu drops carry an unknown cause\n",
+                     (unsigned long long)causes[int(DropCause::kUnknown)]);
+        return 1;
+    }
+    return 0;
+}

@@ -279,6 +279,27 @@ main(int argc, char **argv)
     std::printf("constrained total: weighted %llu, equal-split %llu\n",
                 (unsigned long long)constrained_weighted,
                 (unsigned long long)constrained_equal);
+
+    // Root-cause roll-up: every drop in the fleet must carry a cause.
+    std::uint64_t cause_totals[kDropCauseCount] = {};
+    std::uint64_t injected_drops = 0;
+    std::uint64_t total_drops = 0;
+    for (const RunReport &r : reports) {
+        for (int c = 0; c < kDropCauseCount; ++c)
+            cause_totals[c] += r.drop_causes[c];
+        injected_drops += r.drops_injected;
+        total_drops += r.drops;
+    }
+    std::printf("drop causes (all sessions):");
+    for (int c = 0; c < kDropCauseCount; ++c) {
+        if (cause_totals[c] > 0)
+            std::printf(" %s=%llu", to_string(DropCause(c)),
+                        (unsigned long long)cause_totals[c]);
+    }
+    std::printf(" | injected %llu of %llu drops\n",
+                (unsigned long long)injected_drops,
+                (unsigned long long)total_drops);
+
     std::printf("total: %llu violations, %d failed runs\n",
                 (unsigned long long)total_violations, total_errors);
     if (!golden)
@@ -344,6 +365,12 @@ main(int argc, char **argv)
     }
 
     bool failed = total_violations > 0 || total_errors > 0;
+    if (cause_totals[int(DropCause::kUnknown)] > 0) {
+        std::printf("UNATTRIBUTED DROPS: %llu frames carry no cause\n",
+                    (unsigned long long)
+                        cause_totals[int(DropCause::kUnknown)]);
+        failed = true;
+    }
     if (constrained_weighted >= constrained_equal) {
         std::printf("ARBITER DID NOT BEAT EQUAL-SPLIT (constrained "
                     "budgets)\n");

@@ -19,6 +19,7 @@ for golden in bench/goldens/*.txt; do
         perf_sim_core.checksums) continue ;;
         chaos_campaign.golden) continue ;;
         fleet_campaign.golden) continue ;;
+        dvsync_inspect.golden) continue ;;
     esac
     bin="$BENCH_DIR/$name"
     if [[ ! -x "$bin" ]]; then
@@ -52,9 +53,12 @@ fi
 
 # chaos_campaign: the bare binary runs the full 50-seed campaign, so the
 # golden pins the deterministic --golden replay (seed-1 fault plans plus
-# per-run reports for every mix/mode cell) instead.
+# per-run reports for every mix/mode cell) instead. The same invocation
+# writes the canonical forensics dump, checked through dvsync_inspect
+# below (dump-written note goes to stderr, not the golden).
 "$BENCH_DIR/chaos_campaign" --golden --jobs=1 \
-    > "$TMP/chaos_campaign.golden.txt" 2>&1
+    --forensics="$TMP/chaos_forensics.json" \
+    > "$TMP/chaos_campaign.golden.txt" 2>/dev/null
 if cmp -s bench/goldens/chaos_campaign.golden.txt \
           "$TMP/chaos_campaign.golden.txt"; then
     echo "OK       chaos_campaign (golden replay)"
@@ -62,6 +66,23 @@ else
     echo "DIFF     chaos_campaign (golden replay)"
     diff bench/goldens/chaos_campaign.golden.txt \
          "$TMP/chaos_campaign.golden.txt" | head -20 || true
+    fail=1
+fi
+
+# dvsync_inspect: the forensics summary over the chaos specimen dump is
+# fully deterministic — header, cause breakdown, worst frames, causal
+# chains. Pinning it catches drifts in classification, span extraction,
+# and the dump schema in one shot. Nonzero exit (unknown-cause drops,
+# unparseable dump) fails the check even if the text matches.
+if "$BENCH_DIR/dvsync_inspect" "$TMP/chaos_forensics.json" --golden \
+    > "$TMP/dvsync_inspect.golden.txt" 2>&1 \
+    && cmp -s bench/goldens/dvsync_inspect.golden.txt \
+              "$TMP/dvsync_inspect.golden.txt"; then
+    echo "OK       dvsync_inspect (forensics summary)"
+else
+    echo "DIFF     dvsync_inspect (forensics summary)"
+    diff bench/goldens/dvsync_inspect.golden.txt \
+         "$TMP/dvsync_inspect.golden.txt" | head -20 || true
     fail=1
 fi
 

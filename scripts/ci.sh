@@ -33,7 +33,14 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 # zero invariant violations and zero failed runs (nonzero exit
 # otherwise). Runs in both the plain and the sanitized build — the fault
 # paths are exactly where sanitizers earn their keep.
-"$BUILD_DIR/bench/chaos_campaign" --seeds=5 --out=-
+"$BUILD_DIR/bench/chaos_campaign" --seeds=5 --out=- \
+    --forensics="$BUILD_DIR/chaos_forensics.json"
+
+# Forensics smoke: the chaos specimen's dump must parse and every drop in
+# it must carry a known root cause (dvsync_inspect exits nonzero on an
+# unreadable dump or an unknown-cause drop). Also under sanitizers: the
+# dump/parse/inspect path is fresh C++ with manual JSON plumbing.
+"$BUILD_DIR/bench/dvsync_inspect" "$BUILD_DIR/chaos_forensics.json" --top=3
 
 # Fleet smoke: a small multi-surface sweep must finish with zero
 # violations, zero failed runs, and the weighted arbiter strictly

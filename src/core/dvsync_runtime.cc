@@ -167,6 +167,13 @@ DvsyncRuntime::on_watchdog_present(const PresentEvent &ev)
 }
 
 void
+DvsyncRuntime::force_degrade(Time now, const std::string &detail)
+{
+    if (!degraded_)
+        degrade(now, "forced", detail);
+}
+
+void
 DvsyncRuntime::degrade(Time now, const char *reason,
                        const std::string &detail)
 {

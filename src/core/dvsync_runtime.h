@@ -69,6 +69,17 @@ class DvsyncRuntime
      */
     void attach_watchdog(Panel &panel, const InvariantMonitor *monitor);
 
+    /**
+     * Operator kill switch: degrade to the VSync fallback immediately,
+     * exactly as if a watchdog trigger fired (D-VSync off, DTV promise
+     * chain resynced, transition recorded). Vendors ship this to
+     * force-disable a feature in the field; tests use it to pin the
+     * degraded-path behavior deterministically. If the watchdog is
+     * armed it re-promotes after the usual stable streak. No-op when
+     * already degraded.
+     */
+    void force_degrade(Time now, const std::string &detail);
+
     /** Currently running on the VSync fallback path? */
     bool degraded() const { return degraded_; }
 

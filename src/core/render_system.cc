@@ -73,6 +73,20 @@ RenderSystem::RenderSystem(const SystemConfig &config, Scenario scenario)
 
     stats_ = std::make_unique<FrameStats>(*producer_, *panel_);
 
+    // The classifier reads the RefreshLog FrameStats appends, so it must
+    // register its present listener after stats_. It schedules no events
+    // and never reads the RNG — always-on is free for determinism.
+    DropClassifier::Context cc;
+    cc.producer = producer_.get();
+    cc.queue = queue_.get();
+    cc.stats = stats_.get();
+    cc.runtime = runtime_.get();
+    cc.dtv = dtv_.get();
+    cc.plan = config.faults.get();
+    cc.gpu = &producer_->gpu();
+    cc.shared_gpu = false;
+    classifier_ = std::make_unique<DropClassifier>(cc, *panel_);
+
     if (config.monitor_invariants) {
         monitor_ = std::make_unique<InvariantMonitor>();
         // The FPE's limit bounds accumulated (queued) pre-rendered
@@ -91,6 +105,56 @@ RenderSystem::RenderSystem(const SystemConfig &config, Scenario scenario)
     // fault-free goldens keep their exact behavior.
     if (runtime_ && (config.watchdog || config.faults))
         runtime_->attach_watchdog(*panel_, monitor_.get());
+
+    if (config.forensics) {
+        metrics_ = std::make_unique<MetricsRegistry>();
+        metrics_->register_gauge("queue.depth", [this] {
+            return double(queue_->queued_count());
+        });
+        metrics_->register_gauge("queue.free", [this] {
+            return double(queue_->free_count());
+        });
+        metrics_->register_counter("ui.busy_ns", [this] {
+            return double(producer_->ui_thread().total_busy());
+        });
+        metrics_->register_counter("render.busy_ns", [this] {
+            return double(producer_->render_thread().total_busy());
+        });
+        metrics_->register_counter("gpu.busy_ns", [this] {
+            return double(producer_->gpu().total_busy());
+        });
+        metrics_->register_counter("panel.presents", [this] {
+            return double(panel_->presented());
+        });
+        metrics_->register_counter("panel.repeats", [this] {
+            return double(panel_->repeats());
+        });
+        metrics_->register_counter("compositor.latch_misses", [this] {
+            return double(compositor_->missed_deadline());
+        });
+        metrics_->register_counter("stats.drops", [this] {
+            return double(stats_->frame_drops());
+        });
+        if (runtime_) {
+            metrics_->register_gauge("runtime.degraded", [this] {
+                return runtime_->degraded() ? 1.0 : 0.0;
+            });
+        }
+        if (fpe_) {
+            metrics_->register_counter("fpe.pre_rendered", [this] {
+                return double(fpe_->pre_rendered_frames());
+            });
+        }
+        // Default cadence: 16 refresh periods. Dense per-period sampling
+        // is available via with_metrics_interval(device.period()), but
+        // idle-heavy runs would then pay for a tick per refresh — the
+        // sparse default keeps the measured overhead within the 5%
+        // budget perf_sim_core enforces.
+        const Time interval = config.metrics_interval > 0
+                                  ? config.metrics_interval
+                                  : config.device.period() * 16;
+        metrics_->install(sim_, interval);
+    }
 }
 
 RenderSystem::~RenderSystem() = default;
@@ -169,6 +233,17 @@ RenderSystem::report() const
     }
     if (dtv_)
         r.dtv_resyncs = dtv_->resyncs();
+
+    r.drop_causes = classifier_->counts();
+    r.drops_injected = classifier_->injected_drops();
+    std::uint64_t attributed = 0;
+    for (int c = 0; c < kDropCauseCount; ++c)
+        attributed += r.drop_causes[c];
+    if (attributed != r.drops) {
+        panic("drop attribution out of sync: %llu causes vs %llu drops",
+              (unsigned long long)attributed,
+              (unsigned long long)r.drops);
+    }
     return r;
 }
 
@@ -222,6 +297,26 @@ RenderSystem::export_trace(TraceLog &log) const
         log.counter("queued buffers", r.time,
                     double(queue_->queued_count()));
     }
+    // Flow events link each frame's slices across the tracks above, so
+    // one frame can be followed UI -> render -> GPU -> queue -> display.
+    forensics().export_flows(log);
+}
+
+FrameForensics
+RenderSystem::forensics() const
+{
+    if (!ran_)
+        panic("RenderSystem::forensics before run");
+    FrameForensics f;
+    f.add_surface("", *producer_, *stats_, classifier_.get());
+    return f;
+}
+
+bool
+RenderSystem::save_forensics(const std::string &path) const
+{
+    return forensics().save(path, producer_->scenario().name(),
+                            to_string(config_.mode), metrics_.get());
 }
 
 RunReport
@@ -229,12 +324,6 @@ run_experiment(const SystemConfig &config, const Scenario &scenario)
 {
     RenderSystem system(config, scenario);
     return system.run();
-}
-
-double
-run_fdps(const SystemConfig &config, const Scenario &scenario)
-{
-    return run_experiment(config, scenario).fdps;
 }
 
 } // namespace dvs

@@ -28,6 +28,9 @@
 #include "metrics/frame_stats.h"
 #include "metrics/power_model.h"
 #include "metrics/run_report.h"
+#include "obs/drop_classifier.h"
+#include "obs/frame_forensics.h"
+#include "obs/metrics_registry.h"
 #include "pipeline/compositor.h"
 #include "pipeline/producer.h"
 #include "pipeline/swap_interval_pacer.h"
@@ -97,6 +100,21 @@ struct SystemConfig {
      * automatically whenever a fault plan is installed.
      */
     bool watchdog = false;
+
+    /**
+     * Enable frame forensics: a MetricsRegistry sampled every
+     * metrics_interval (default: one refresh period) and the forensics
+     * dump/flow exports. Off by default — the hot path then pays
+     * nothing, and the event interleaving is untouched (the sampler
+     * schedules simulator events).
+     */
+    bool forensics = false;
+
+    /**
+     * Metrics sampling cadence; 0 derives 16 refresh periods (the
+     * low-overhead default — pass device.period() for dense series).
+     */
+    Time metrics_interval = 0;
 
     SystemConfig() : device(pixel5()) {}
 
@@ -180,6 +198,16 @@ struct SystemConfig {
         watchdog = on;
         return *this;
     }
+    SystemConfig &with_forensics(bool on)
+    {
+        forensics = on;
+        return *this;
+    }
+    SystemConfig &with_metrics_interval(Time interval)
+    {
+        metrics_interval = interval;
+        return *this;
+    }
 };
 
 /**
@@ -234,6 +262,13 @@ class RenderSystem
     /** Fault injector; null unless a plan was installed. */
     FaultInjector *fault_injector() { return injector_.get(); }
 
+    /** Drop root-cause classifier (always on; costs only per drop). */
+    const DropClassifier &classifier() const { return *classifier_; }
+
+    /** Metrics registry; null unless config.forensics is on. */
+    MetricsRegistry *metrics() { return metrics_.get(); }
+    const MetricsRegistry *metrics() const { return metrics_.get(); }
+
     /** Activity summary for the power model. */
     RunActivity activity() const;
 
@@ -249,6 +284,18 @@ class RenderSystem
      * chrome://tracing or the Perfetto UI.
      */
     void export_trace(TraceLog &log) const;
+
+    /**
+     * Build the per-frame causal chains of the finished run (span
+     * records + attributed drops); pure post-run derivation.
+     */
+    FrameForensics forensics() const;
+
+    /**
+     * Write the forensics dump (chains, drops with causes, metric time
+     * series when forensics is on) as JSON to @p path.
+     */
+    bool save_forensics(const std::string &path) const;
 
   private:
     SystemConfig config_;
@@ -266,8 +313,10 @@ class RenderSystem
     std::unique_ptr<DisplayTimeVirtualizer> dtv_;
     std::unique_ptr<FramePreExecutor> fpe_;
     std::unique_ptr<FrameStats> stats_;
+    std::unique_ptr<DropClassifier> classifier_;
     std::unique_ptr<InvariantMonitor> monitor_;
     std::unique_ptr<FaultInjector> injector_;
+    std::unique_ptr<MetricsRegistry> metrics_;
     bool ran_ = false;
 };
 
@@ -277,17 +326,6 @@ class RenderSystem
  */
 RunReport run_experiment(const SystemConfig &config,
                          const Scenario &scenario);
-
-/**
- * Convenience: run @p scenario under @p config and return the FDPS.
- *
- * @deprecated Thin wrapper kept for source compatibility only. Use
- * run_experiment() and read `.fdps` from the returned RunReport — the
- * report carries every other metric of the same run for free, and this
- * wrapper will be removed once nothing in the tree calls it (see
- * DESIGN.md §5a "Migration").
- */
-double run_fdps(const SystemConfig &config, const Scenario &scenario);
 
 } // namespace dvs
 

@@ -174,6 +174,20 @@ FaultPlan::active(FaultKind kind, Time now) const
     return false;
 }
 
+bool
+FaultPlan::active_in(FaultKind kind, Time from, Time to) const
+{
+    if (from == kTimeNone)
+        return active(kind, to);
+    for (const FaultWindow &w : windows_) {
+        if (w.start > to)
+            break; // sorted by start
+        if (w.kind == kind && w.end > from)
+            return true;
+    }
+    return false;
+}
+
 double
 FaultPlan::magnitude(FaultKind kind, Time now) const
 {

@@ -98,6 +98,13 @@ class FaultPlan
     /** Whether any window of @p kind covers @p now. */
     bool active(FaultKind kind, Time now) const;
 
+    /**
+     * Whether any window of @p kind overlaps [@p from, @p to] — the
+     * classifier's "was this fault in play since the previous refresh"
+     * question. @p from == kTimeNone degenerates to active(kind, to).
+     */
+    bool active_in(FaultKind kind, Time from, Time to) const;
+
     /** Magnitude of the first active window of @p kind (0 when none). */
     double magnitude(FaultKind kind, Time now) const;
 

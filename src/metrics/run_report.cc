@@ -40,6 +40,9 @@ RunReport::averaged(const std::vector<RunReport> &runs)
         avg.degradations += r.degradations;
         avg.repromotions += r.repromotions;
         avg.dtv_resyncs += r.dtv_resyncs;
+        for (int c = 0; c < kDropCauseCount; ++c)
+            avg.drop_causes[c] += r.drop_causes[c];
+        avg.drops_injected += r.drops_injected;
         avg.rearbitrations += r.rearbitrations;
         // timeline, error, and the per-surface slices stay the front
         // run's: transition logs are per-run narratives, and surface
@@ -97,6 +100,23 @@ RunReport::debug_string() const
                   (unsigned long long)dtv_resyncs,
                   error.empty() ? "-" : error.c_str());
     out += buf;
+
+    const auto causes_of =
+        [&buf](const std::array<std::uint64_t, kDropCauseCount> &causes,
+               std::uint64_t injected) {
+            std::string s = " causes=[";
+            for (int c = 0; c < kDropCauseCount; ++c) {
+                std::snprintf(buf, 64, "%s%s=%llu", c ? " " : "",
+                              to_string(DropCause(c)),
+                              (unsigned long long)causes[c]);
+                s += buf;
+            }
+            std::snprintf(buf, 64, "] injected_drops=%llu",
+                          (unsigned long long)injected);
+            s += buf;
+            return s;
+        };
+    out += causes_of(drop_causes, drops_injected);
     if (!surfaces.empty()) {
         std::snprintf(buf, sizeof(buf),
                       " budget_mb=%.17g used_mb=%.17g rearb=%llu",
@@ -118,6 +138,7 @@ RunReport::debug_string() const
                 (unsigned long long)s.degradations,
                 (unsigned long long)s.repromotions);
             out += buf;
+            out += causes_of(s.drop_causes, s.drops_injected);
         }
     }
     for (const std::string &t : timeline)

@@ -15,11 +15,13 @@
 #ifndef DVS_METRICS_RUN_REPORT_H
 #define DVS_METRICS_RUN_REPORT_H
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "metrics/power_model.h"
+#include "obs/drop_cause.h"
 
 namespace dvs {
 
@@ -58,6 +60,10 @@ struct SurfaceReport {
     std::uint64_t invariant_violations = 0;
     std::uint64_t degradations = 0;
     std::uint64_t repromotions = 0;
+
+    /** Per-cause drop attribution (indexed by DropCause). */
+    std::array<std::uint64_t, kDropCauseCount> drop_causes{};
+    std::uint64_t drops_injected = 0; ///< drops inside a fault window
 
     friend bool operator==(const SurfaceReport &,
                            const SurfaceReport &) = default;
@@ -105,6 +111,15 @@ struct RunReport {
     std::uint64_t degradations = 0;  ///< watchdog D-VSync -> VSync fall-backs
     std::uint64_t repromotions = 0;  ///< watchdog VSync -> D-VSync returns
     std::uint64_t dtv_resyncs = 0;   ///< DTV promise-chain resets
+
+    // ----- drop root-cause attribution (src/obs) ------------------------
+
+    /**
+     * Per-cause drop counts (indexed by DropCause); the classifier
+     * guarantees they sum to `drops`, and the systems panic if not.
+     */
+    std::array<std::uint64_t, kDropCauseCount> drop_causes{};
+    std::uint64_t drops_injected = 0; ///< drops overlapping a fault window
 
     // ----- multi-surface composition (src/surface) ----------------------
 

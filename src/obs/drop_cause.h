@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Drop root-cause taxonomy.
+ *
+ * Every refresh at which due content was missing (a frame drop, §3.2)
+ * gets attributed to exactly one mechanistic cause by the
+ * DropClassifier. The enum is deliberately header-only so RunReport can
+ * carry per-cause counters without a link-time dependency on the
+ * observability library.
+ */
+
+#ifndef DVS_OBS_DROP_CAUSE_H
+#define DVS_OBS_DROP_CAUSE_H
+
+namespace dvs {
+
+/**
+ * Why a frame drop happened. Ordered roughly by pipeline stage; keep
+ * kUnknown first (the "classifier gave up" bucket, which campaigns
+ * assert stays empty) and kDropCauseCount in sync.
+ */
+enum class DropCause : int {
+    kUnknown = 0,     ///< no mechanism identified (should not happen)
+    kSlowUi,          ///< UI stage of the owed frame still running/waiting
+    kSlowRender,      ///< render/GPU-execute stage still running
+    kGpuContention,   ///< owed frame waiting behind other GPU work
+    kQueueStuffed,    ///< producer stalled on a full buffer queue
+    kLatchMiss,       ///< buffer was queued but the compositor refused it
+    kDtvDesync,       ///< DTV promise-chain reset / slot elasticity skip
+    kDegraded,        ///< watchdog fell back to VSync pacing
+    kInjectedFault,   ///< consumer-side fault with no pipeline mechanism
+};
+
+constexpr int kDropCauseCount = 9;
+
+/** Stable short name ("slow-ui", "latch-miss", ...) for reports. */
+constexpr const char *
+to_string(DropCause c)
+{
+    switch (c) {
+      case DropCause::kUnknown:
+        return "unknown";
+      case DropCause::kSlowUi:
+        return "slow-ui";
+      case DropCause::kSlowRender:
+        return "slow-render";
+      case DropCause::kGpuContention:
+        return "gpu-contention";
+      case DropCause::kQueueStuffed:
+        return "queue-stuffed";
+      case DropCause::kLatchMiss:
+        return "latch-miss";
+      case DropCause::kDtvDesync:
+        return "dtv-desync";
+      case DropCause::kDegraded:
+        return "degraded";
+      case DropCause::kInjectedFault:
+        return "injected-fault";
+    }
+    return "?";
+}
+
+} // namespace dvs
+
+#endif // DVS_OBS_DROP_CAUSE_H

@@ -1,0 +1,177 @@
+#include "obs/drop_classifier.h"
+
+#include "buffer/buffer_queue.h"
+#include "core/display_time_virtualizer.h"
+#include "core/dvsync_runtime.h"
+#include "display/panel.h"
+#include "fault/fault_plan.h"
+#include "metrics/frame_stats.h"
+#include "pipeline/producer.h"
+#include "sim/logging.h"
+
+namespace dvs {
+
+DropClassifier::DropClassifier(Context ctx, Panel &panel) : ctx_(ctx)
+{
+    if (!ctx_.producer || !ctx_.queue || !ctx_.stats)
+        panic("DropClassifier needs producer, queue, and stats");
+    panel.add_present_listener(
+        [this](const PresentEvent &ev) { on_present(ev); });
+}
+
+bool
+DropClassifier::fault_since(int kind, Time t) const
+{
+    return ctx_.plan &&
+           ctx_.plan->active_in(FaultKind(kind), prev_present_, t);
+}
+
+void
+DropClassifier::on_present(const PresentEvent &ev)
+{
+    const Time t = ev.present_time;
+    // FrameStats registered first, so the refresh it just logged is the
+    // authoritative drop decision for this edge.
+    const std::vector<RefreshLog> &refreshes = ctx_.stats->refreshes();
+    if (refreshes.empty() || refreshes.back().time != t)
+        panic("DropClassifier attached before FrameStats");
+    if (refreshes.back().drop) {
+        DropRecord d;
+        d.at = t;
+        d.refresh_index = refreshes.size() - 1;
+        d.cause = classify(t, d.injected, d.frame_hint);
+        ++counts_[int(d.cause)];
+        if (d.injected)
+            ++injected_;
+        drops_.push_back(d);
+    }
+
+    // Baselines for the next refresh's "since the previous present"
+    // questions; updated on every refresh, dropped or not.
+    prev_present_ = t;
+    if (ctx_.dtv)
+        resyncs_seen_ = ctx_.dtv->resyncs();
+    if (ctx_.runtime)
+        degradations_seen_ = ctx_.runtime->degradations();
+    ui_busy_seen_ = ctx_.producer->ui_thread().total_busy();
+    render_busy_seen_ = ctx_.producer->render_thread().total_busy();
+    if (ctx_.gpu)
+        gpu_busy_seen_ = ctx_.gpu->total_busy();
+}
+
+DropCause
+DropClassifier::classify(Time t, bool &injected, std::uint64_t &hint)
+{
+    injected = false;
+    const FaultPlan *plan = ctx_.plan;
+
+    // 1. Consumer-side faults leave no producer-side trace: the screen
+    // repeated because the latch itself was sabotaged.
+    if (fault_since(int(FaultKind::kQueueStall), t) ||
+        fault_since(int(FaultKind::kVsyncEdgeLoss), t)) {
+        injected = true;
+        return DropCause::kInjectedFault;
+    }
+    if (plan && plan->active(FaultKind::kDeadlineMiss, t) &&
+        ctx_.queue->queued_count() > 0) {
+        injected = true;
+        return DropCause::kInjectedFault;
+    }
+
+    // 2. A buffer sat in the FIFO but the compositor refused to latch it
+    // (latch-deadline policy): the frame was ready, the latch missed.
+    if (ctx_.queue->queued_count() > 0)
+        return DropCause::kLatchMiss;
+
+    // 3. Producer-side: blame the oldest frame that has not reached the
+    // queue yet — it is the one the screen is waiting for. The cursor
+    // only moves forward, so the scan is amortized O(1) per drop.
+    const std::vector<FrameRecord> &records = ctx_.producer->records();
+    while (oldest_unqueued_ < records.size() &&
+           records[oldest_unqueued_].queue_time != kTimeNone) {
+        ++oldest_unqueued_;
+    }
+    if (oldest_unqueued_ < records.size()) {
+        const FrameRecord &rec = records[oldest_unqueued_];
+        hint = rec.frame_id;
+        if (rec.render_end != kTimeNone) {
+            // GPU phase: waiting for the GPU, or executing on it.
+            if (rec.gpu_start == kTimeNone) {
+                injected = plan && plan->active_in(FaultKind::kGpuHang,
+                                                   rec.render_end, t);
+                return DropCause::kGpuContention;
+            }
+            if (plan && plan->active_in(FaultKind::kGpuHang,
+                                        rec.gpu_start, t)) {
+                injected = true;
+                return DropCause::kGpuContention;
+            }
+            injected =
+                plan && plan->active(FaultKind::kThermalThrottle, t);
+            return DropCause::kSlowRender;
+        }
+        if (rec.buffer_stall_start != kTimeNone &&
+            rec.render_start == kTimeNone) {
+            // Ready to render but no free buffer slot: the queue is
+            // stuffed (or allocation was failed under it).
+            injected =
+                fault_since(int(FaultKind::kBufferAllocFail), t);
+            return DropCause::kQueueStuffed;
+        }
+        if (rec.render_start != kTimeNone ||
+            rec.ui_end != kTimeNone) {
+            // Render executing, or UI done and waiting for its VSync-rs
+            // edge / the render thread.
+            injected =
+                plan && plan->active(FaultKind::kThermalThrottle, t);
+            return DropCause::kSlowRender;
+        }
+        // UI stage still pending or executing.
+        injected = plan &&
+                   (plan->active(FaultKind::kThermalThrottle, t) ||
+                    fault_since(int(FaultKind::kInputBurst), t));
+        return DropCause::kSlowUi;
+    }
+
+    // 4. Nothing in flight and nothing queued: the frame was never
+    // started. Pacing-level causes.
+    if (ctx_.runtime && (ctx_.runtime->degraded() ||
+                         ctx_.runtime->degradations() !=
+                             degradations_seen_)) {
+        return DropCause::kDegraded;
+    }
+    if (ctx_.dtv && ctx_.dtv->resyncs() != resyncs_seen_)
+        return DropCause::kDtvDesync;
+
+    // Echo drops: the pipeline already moved on, but a stage was busy
+    // past its slot since the last refresh. Blame the busiest one.
+    const Time du = ctx_.producer->ui_thread().total_busy() -
+                    ui_busy_seen_;
+    const Time dr = ctx_.producer->render_thread().total_busy() -
+                    render_busy_seen_;
+    const Time dg =
+        ctx_.gpu ? ctx_.gpu->total_busy() - gpu_busy_seen_ : 0;
+    if (du > 0 || dr > 0 || dg > 0) {
+        if (dg >= du && dg >= dr) {
+            return ctx_.shared_gpu ? DropCause::kGpuContention
+                                   : DropCause::kSlowRender;
+        }
+        return du >= dr ? DropCause::kSlowUi : DropCause::kSlowRender;
+    }
+
+    if (plan) {
+        for (int k = 0; k < kFaultKindCount; ++k) {
+            if (fault_since(k, t)) {
+                injected = true;
+                return DropCause::kInjectedFault;
+            }
+        }
+    }
+    // A D-VSync producer with an idle pipeline only skips owed slots
+    // through DTV's drop elasticity (skip_slots).
+    if (ctx_.runtime)
+        return DropCause::kDtvDesync;
+    return DropCause::kUnknown;
+}
+
+} // namespace dvs

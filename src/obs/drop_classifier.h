@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Root-cause attribution for frame drops.
+ *
+ * The DropClassifier listens on the present fence *after* FrameStats and
+ * attributes every refresh FrameStats flagged as a drop to exactly one
+ * DropCause, by inspecting the live pipeline at the dropped edge: the
+ * oldest unqueued frame's stage timestamps, the buffer queue, the
+ * D-VSync runtime/DTV state, and the active FaultPlan (so chaos runs
+ * can tell injected drops from emergent ones). Because it only reacts
+ * to drops FrameStats already decided on, its per-cause counts sum to
+ * FrameStats::frame_drops() by construction — RenderSystem still
+ * panics if they ever disagree.
+ *
+ * The classifier schedules no events and never touches the RNG stream,
+ * so enabling it cannot perturb simulation results.
+ */
+
+#ifndef DVS_OBS_DROP_CLASSIFIER_H
+#define DVS_OBS_DROP_CLASSIFIER_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "obs/drop_cause.h"
+#include "sim/time.h"
+
+namespace dvs {
+
+class BufferQueue;
+class DisplayTimeVirtualizer;
+class DvsyncRuntime;
+class ExecResource;
+class FaultPlan;
+class FrameStats;
+class Panel;
+class Producer;
+struct PresentEvent;
+
+/** One attributed drop. */
+struct DropRecord {
+    Time at = kTimeNone;             ///< the dropped refresh edge
+    std::uint64_t refresh_index = 0; ///< index into FrameStats::refreshes()
+    DropCause cause = DropCause::kUnknown;
+    /** A fault window overlapped the mechanism (chaos attribution). */
+    bool injected = false;
+    /** Oldest in-flight frame at the drop; UINT64_MAX when none. */
+    std::uint64_t frame_hint = UINT64_MAX;
+};
+
+/**
+ * Attributes frame drops to causes as they happen.
+ *
+ * Construct AFTER the surface's FrameStats (listener order on the
+ * present fence is registration order; the classifier reads the
+ * RefreshLog FrameStats just appended).
+ */
+class DropClassifier
+{
+  public:
+    /** The components the classifier inspects; optional ones may be null. */
+    struct Context {
+        Producer *producer = nullptr;       ///< required
+        BufferQueue *queue = nullptr;       ///< required
+        FrameStats *stats = nullptr;        ///< required, attached first
+        DvsyncRuntime *runtime = nullptr;   ///< null under VSync
+        DisplayTimeVirtualizer *dtv = nullptr;
+        const FaultPlan *plan = nullptr;    ///< null outside chaos runs
+        /** GPU the producer submits to (shared on multi-surface). */
+        ExecResource *gpu = nullptr;
+        bool shared_gpu = false;
+    };
+
+    DropClassifier(Context ctx, Panel &panel);
+
+    const std::vector<DropRecord> &drops() const { return drops_; }
+    const std::array<std::uint64_t, kDropCauseCount> &counts() const
+    {
+        return counts_;
+    }
+    std::uint64_t total() const { return drops_.size(); }
+    std::uint64_t injected_drops() const { return injected_; }
+    std::uint64_t unknown_drops() const
+    {
+        return counts_[int(DropCause::kUnknown)];
+    }
+
+  private:
+    void on_present(const PresentEvent &ev);
+    DropCause classify(Time t, bool &injected, std::uint64_t &hint);
+    bool fault_since(int kind, Time t) const;
+
+    Context ctx_;
+    Time prev_present_ = kTimeNone;   ///< previous refresh edge seen
+    std::size_t oldest_unqueued_ = 0; ///< cursor into producer records
+    std::uint64_t resyncs_seen_ = 0;
+    std::uint64_t degradations_seen_ = 0;
+    Time ui_busy_seen_ = 0;
+    Time render_busy_seen_ = 0;
+    Time gpu_busy_seen_ = 0;
+    std::array<std::uint64_t, kDropCauseCount> counts_{};
+    std::vector<DropRecord> drops_;
+    std::uint64_t injected_ = 0;
+};
+
+} // namespace dvs
+
+#endif // DVS_OBS_DROP_CLASSIFIER_H

@@ -1,0 +1,324 @@
+#include "obs/json_view.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dvs {
+
+namespace {
+const JsonValue kNullValue;
+} // namespace
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    auto it = members_.find(key);
+    return it == members_.end() ? kNullValue : it->second;
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    return members_.find(key) != members_.end();
+}
+
+double
+JsonValue::number_at(const std::string &key, double fallback) const
+{
+    const JsonValue &v = at(key);
+    return v.is_number() ? v.as_number() : fallback;
+}
+
+std::string
+JsonValue::string_at(const std::string &key,
+                     const std::string &fallback) const
+{
+    const JsonValue &v = at(key);
+    return v.is_string() ? v.as_string() : fallback;
+}
+
+/** Recursive-descent parser over the RFC 8259 grammar. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {}
+
+    JsonValue run()
+    {
+        JsonValue v;
+        if (!parse_value(v))
+            return JsonValue();
+        skip_ws();
+        if (pos_ != text_.size()) {
+            fail("trailing content");
+            return JsonValue();
+        }
+        return v;
+    }
+
+  private:
+    void fail(const char *msg)
+    {
+        if (error_ && error_->empty()) {
+            char buf[128];
+            std::snprintf(buf, sizeof(buf), "offset %zu: %s", pos_, msg);
+            *error_ = buf;
+        }
+    }
+
+    void skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool literal(const char *word)
+    {
+        std::size_t i = 0;
+        while (word[i]) {
+            if (pos_ + i >= text_.size() || text_[pos_ + i] != word[i]) {
+                fail("invalid literal");
+                return false;
+            }
+            ++i;
+        }
+        pos_ += i;
+        return true;
+    }
+
+    bool parse_string(std::string &out)
+    {
+        ++pos_; // opening quote
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("raw control character in string");
+                return false;
+            }
+            if (c != '\\') {
+                out += c;
+                ++pos_;
+                continue;
+            }
+            if (pos_ + 1 >= text_.size()) {
+                fail("dangling escape");
+                return false;
+            }
+            const char e = text_[pos_ + 1];
+            pos_ += 2;
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  if (pos_ + 4 > text_.size()) {
+                      fail("truncated \\u escape");
+                      return false;
+                  }
+                  unsigned code = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      const char h = text_[pos_ + std::size_t(i)];
+                      code <<= 4;
+                      if (h >= '0' && h <= '9')
+                          code |= unsigned(h - '0');
+                      else if (h >= 'a' && h <= 'f')
+                          code |= unsigned(h - 'a' + 10);
+                      else if (h >= 'A' && h <= 'F')
+                          code |= unsigned(h - 'A' + 10);
+                      else {
+                          fail("bad hex digit in \\u escape");
+                          return false;
+                      }
+                  }
+                  pos_ += 4;
+                  // UTF-8 encode (BMP only; surrogate pairs are not
+                  // produced by our exporter).
+                  if (code < 0x80) {
+                      out += char(code);
+                  } else if (code < 0x800) {
+                      out += char(0xC0 | (code >> 6));
+                      out += char(0x80 | (code & 0x3F));
+                  } else {
+                      out += char(0xE0 | (code >> 12));
+                      out += char(0x80 | ((code >> 6) & 0x3F));
+                      out += char(0x80 | (code & 0x3F));
+                  }
+                  break;
+              }
+              default:
+                fail("unknown escape");
+                return false;
+            }
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    bool parse_number(JsonValue &v)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        if (pos_ >= text_.size() || !std::isdigit(
+                static_cast<unsigned char>(text_[pos_]))) {
+            fail("invalid number");
+            return false;
+        }
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_]))) {
+                fail("digit required after decimal point");
+                return false;
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() || !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_]))) {
+                fail("digit required in exponent");
+                return false;
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        v.kind_ = JsonValue::Kind::kNumber;
+        v.number_ = std::strtod(text_.c_str() + start, nullptr);
+        return true;
+    }
+
+    bool parse_value(JsonValue &v)
+    {
+        skip_ws();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return false;
+        }
+        const char c = text_[pos_];
+        switch (c) {
+          case '{': {
+              ++pos_;
+              v.kind_ = JsonValue::Kind::kObject;
+              skip_ws();
+              if (pos_ < text_.size() && text_[pos_] == '}') {
+                  ++pos_;
+                  return true;
+              }
+              while (true) {
+                  skip_ws();
+                  if (pos_ >= text_.size() || text_[pos_] != '"') {
+                      fail("object key must be a string");
+                      return false;
+                  }
+                  std::string key;
+                  if (!parse_string(key))
+                      return false;
+                  skip_ws();
+                  if (pos_ >= text_.size() || text_[pos_] != ':') {
+                      fail("expected ':' after object key");
+                      return false;
+                  }
+                  ++pos_;
+                  JsonValue member;
+                  if (!parse_value(member))
+                      return false;
+                  v.members_[key] = std::move(member);
+                  skip_ws();
+                  if (pos_ < text_.size() && text_[pos_] == ',') {
+                      ++pos_;
+                      continue;
+                  }
+                  if (pos_ < text_.size() && text_[pos_] == '}') {
+                      ++pos_;
+                      return true;
+                  }
+                  fail("expected ',' or '}' in object");
+                  return false;
+              }
+          }
+          case '[': {
+              ++pos_;
+              v.kind_ = JsonValue::Kind::kArray;
+              skip_ws();
+              if (pos_ < text_.size() && text_[pos_] == ']') {
+                  ++pos_;
+                  return true;
+              }
+              while (true) {
+                  JsonValue item;
+                  if (!parse_value(item))
+                      return false;
+                  v.items_.push_back(std::move(item));
+                  skip_ws();
+                  if (pos_ < text_.size() && text_[pos_] == ',') {
+                      ++pos_;
+                      continue;
+                  }
+                  if (pos_ < text_.size() && text_[pos_] == ']') {
+                      ++pos_;
+                      return true;
+                  }
+                  fail("expected ',' or ']' in array");
+                  return false;
+              }
+          }
+          case '"': {
+              v.kind_ = JsonValue::Kind::kString;
+              return parse_string(v.string_);
+          }
+          case 't':
+              v.kind_ = JsonValue::Kind::kBool;
+              v.bool_ = true;
+              return literal("true");
+          case 'f':
+              v.kind_ = JsonValue::Kind::kBool;
+              v.bool_ = false;
+              return literal("false");
+          case 'n':
+              v.kind_ = JsonValue::Kind::kNull;
+              return literal("null");
+          default:
+              return parse_number(v);
+        }
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue
+JsonValue::parse(const std::string &text, std::string *error)
+{
+    if (error)
+        error->clear();
+    return JsonParser(text, error).run();
+}
+
+} // namespace dvs

@@ -55,6 +55,8 @@ struct FrameRecord {
     Time trigger_time = kTimeNone;  ///< pacer decision time
     Time ui_start = kTimeNone;
     Time ui_end = kTimeNone;
+    Time render_ready = kTimeNone;  ///< eligible to render (post VSync-rs)
+    Time buffer_stall_start = kTimeNone; ///< first failed buffer dequeue
     Time render_start = kTimeNone;
     Time render_end = kTimeNone;
     Time gpu_start = kTimeNone;     ///< kTimeNone when gpu_time == 0

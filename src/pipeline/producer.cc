@@ -251,6 +251,7 @@ Producer::on_ui_done(std::uint64_t id)
 void
 Producer::enqueue_render(std::uint64_t id)
 {
+    records_[id].render_ready = sim_.now();
     pending_render_.insert(id);
     pump_render();
 }
@@ -264,8 +265,13 @@ Producer::pump_render()
     if (it == pending_render_.end() || !render_thread_.idle())
         return;
     FrameBuffer *buf = queue_.try_dequeue(sim_.now());
-    if (!buf)
+    if (!buf) {
+        // Record the stall start (forensics: queue-stuffing evidence).
+        FrameRecord &stalled = records_[*it];
+        if (stalled.buffer_stall_start == kTimeNone)
+            stalled.buffer_stall_start = sim_.now();
         return; // resumed by on_slot_free
+    }
     const std::uint64_t id = *it;
     pending_render_.erase(it);
     ++next_render_id_;

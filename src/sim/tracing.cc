@@ -1,7 +1,11 @@
 #include "sim/tracing.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+
+#include "sim/logging.h"
 
 namespace dvs {
 namespace {
@@ -60,33 +64,87 @@ escape(const std::string &s)
 int
 TraceLog::track_id(const std::string &track)
 {
-    for (std::size_t i = 0; i < tracks_.size(); ++i) {
-        if (tracks_[i] == track)
-            return int(i) + 1;
+    // Hash-map lookup: O(1) per event even on multi-surface exports with
+    // dozens of tracks. tracks_ keeps first-use order for the metadata.
+    auto [it, inserted] =
+        track_ids_.emplace(track, int(tracks_.size()) + 1);
+    if (inserted)
+        tracks_.push_back(track);
+    return it->second;
+}
+
+bool
+TraceLog::admit()
+{
+    if (event_cap_ != 0 && events_.size() >= event_cap_) {
+        ++dropped_events_;
+        return false;
     }
-    tracks_.push_back(track);
-    return int(tracks_.size());
+    return true;
+}
+
+void
+TraceLog::clear()
+{
+    events_.clear();
+    tracks_.clear();
+    track_ids_.clear();
+    dropped_events_ = 0;
 }
 
 void
 TraceLog::duration(const std::string &track, const std::string &name,
                    Time start, Time end)
 {
+    if (!admit())
+        return;
     events_.push_back(
-        Event{'X', track, name, start, end - start, 0.0});
+        Event{'X', track_id(track), name, start, end - start, 0.0, 0});
 }
 
 void
 TraceLog::instant(const std::string &track, const std::string &name,
                   Time at)
 {
-    events_.push_back(Event{'i', track, name, at, 0, 0.0});
+    if (!admit())
+        return;
+    events_.push_back(Event{'i', track_id(track), name, at, 0, 0.0, 0});
 }
 
 void
 TraceLog::counter(const std::string &name, Time at, double value)
 {
-    events_.push_back(Event{'C', "counters", name, at, 0, value});
+    if (!admit())
+        return;
+    events_.push_back(
+        Event{'C', track_id("counters"), name, at, 0, value, 0});
+}
+
+void
+TraceLog::flow_begin(const std::string &track, const std::string &name,
+                     Time at, std::uint64_t id)
+{
+    if (!admit())
+        return;
+    events_.push_back(Event{'s', track_id(track), name, at, 0, 0.0, id});
+}
+
+void
+TraceLog::flow_step(const std::string &track, const std::string &name,
+                    Time at, std::uint64_t id)
+{
+    if (!admit())
+        return;
+    events_.push_back(Event{'t', track_id(track), name, at, 0, 0.0, id});
+}
+
+void
+TraceLog::flow_end(const std::string &track, const std::string &name,
+                   Time at, std::uint64_t id)
+{
+    if (!admit())
+        return;
+    events_.push_back(Event{'f', track_id(track), name, at, 0, 0.0, id});
 }
 
 std::string
@@ -96,30 +154,14 @@ TraceLog::to_json() const
     std::string out = "[\n";
     char buf[512];
     // Thread-name metadata so tracks render with their labels.
-    std::vector<std::string> tracks;
-    for (const Event &e : events_) {
-        bool seen = false;
-        for (const auto &t : tracks)
-            seen |= t == e.track;
-        if (!seen)
-            tracks.push_back(e.track);
-    }
-    for (std::size_t i = 0; i < tracks.size(); ++i) {
+    for (std::size_t i = 0; i < tracks_.size(); ++i) {
         std::snprintf(buf, sizeof(buf),
                       "{\"ph\":\"M\",\"pid\":1,\"tid\":%zu,"
                       "\"name\":\"thread_name\",\"args\":{\"name\":"
                       "\"%s\"}},\n",
-                      i + 1, escape(tracks[i]).c_str());
+                      i + 1, escape(tracks_[i]).c_str());
         out += buf;
     }
-
-    auto tid_of = [&](const std::string &track) {
-        for (std::size_t i = 0; i < tracks.size(); ++i) {
-            if (tracks[i] == track)
-                return i + 1;
-        }
-        return std::size_t(0);
-    };
 
     for (std::size_t i = 0; i < events_.size(); ++i) {
         const Event &e = events_[i];
@@ -127,22 +169,40 @@ TraceLog::to_json() const
         switch (e.phase) {
           case 'X':
             std::snprintf(buf, sizeof(buf),
-                          "{\"ph\":\"X\",\"pid\":1,\"tid\":%zu,"
+                          "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
                           "\"name\":\"%s\",\"ts\":%.3f,\"dur\":%.3f}",
-                          tid_of(e.track), escape(e.name).c_str(), ts,
+                          e.tid, escape(e.name).c_str(), ts,
                           to_us(e.duration));
             break;
           case 'i':
             std::snprintf(buf, sizeof(buf),
-                          "{\"ph\":\"i\",\"pid\":1,\"tid\":%zu,"
+                          "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,"
                           "\"name\":\"%s\",\"ts\":%.3f,\"s\":\"t\"}",
-                          tid_of(e.track), escape(e.name).c_str(), ts);
+                          e.tid, escape(e.name).c_str(), ts);
             break;
           case 'C':
             std::snprintf(buf, sizeof(buf),
                           "{\"ph\":\"C\",\"pid\":1,\"name\":\"%s\","
                           "\"ts\":%.3f,\"args\":{\"value\":%g}}",
                           escape(e.name).c_str(), ts, e.value);
+            break;
+          case 's':
+          case 't':
+            std::snprintf(buf, sizeof(buf),
+                          "{\"ph\":\"%c\",\"pid\":1,\"tid\":%d,"
+                          "\"name\":\"%s\",\"cat\":\"frame\","
+                          "\"id\":%llu,\"ts\":%.3f}",
+                          e.phase, e.tid, escape(e.name).c_str(),
+                          (unsigned long long)e.id, ts);
+            break;
+          case 'f':
+            // bp:"e" binds the arrow to the enclosing slice.
+            std::snprintf(buf, sizeof(buf),
+                          "{\"ph\":\"f\",\"pid\":1,\"tid\":%d,"
+                          "\"name\":\"%s\",\"cat\":\"frame\","
+                          "\"id\":%llu,\"bp\":\"e\",\"ts\":%.3f}",
+                          e.tid, escape(e.name).c_str(),
+                          (unsigned long long)e.id, ts);
             break;
         }
         out += buf;
@@ -158,10 +218,18 @@ bool
 TraceLog::save(const std::string &path) const
 {
     std::ofstream out(path);
-    if (!out)
+    if (!out) {
+        warn("TraceLog::save: cannot open %s for writing: %s",
+             path.c_str(), std::strerror(errno));
         return false;
+    }
     out << to_json();
-    return bool(out);
+    if (!out) {
+        warn("TraceLog::save: write to %s failed: %s", path.c_str(),
+             std::strerror(errno));
+        return false;
+    }
+    return true;
 }
 
 } // namespace dvs

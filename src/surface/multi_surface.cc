@@ -116,6 +116,23 @@ MultiSurfaceSystem::MultiSurfaceSystem(std::vector<SurfaceDesc> descs,
 
         s.stats = std::make_unique<FrameStats>(*s.producer, *s.panel);
 
+        // Per-surface drop attribution; after stats (listener order on
+        // the present fence). Only the fault surface sees the plan.
+        const int fault_target =
+            config.faults ? std::clamp(config.fault_surface, 0,
+                                       int(surfaces_.size()) - 1)
+                          : -1;
+        DropClassifier::Context cc;
+        cc.producer = s.producer.get();
+        cc.queue = s.queue.get();
+        cc.stats = s.stats.get();
+        cc.runtime = s.runtime.get();
+        cc.dtv = s.dtv.get();
+        cc.plan = int(i) == fault_target ? config.faults.get() : nullptr;
+        cc.gpu = gpu_.get();
+        cc.shared_gpu = true;
+        s.classifier = std::make_unique<DropClassifier>(cc, *s.panel);
+
         if (config.monitor_invariants) {
             s.monitor = std::make_unique<InvariantMonitor>();
             // The arbiter may deepen the queue up to max_extra_buffers,
@@ -185,6 +202,43 @@ MultiSurfaceSystem::MultiSurfaceSystem(std::vector<SurfaceDesc> descs,
         session_end_ = std::max(
             session_end_,
             s.desc.start_at + s.desc.scenario.total_duration());
+    }
+
+    if (config.forensics) {
+        metrics_ = std::make_unique<MetricsRegistry>();
+        metrics_->register_counter("gpu.busy_ns", [this] {
+            return double(gpu_->total_busy());
+        });
+        metrics_->register_gauge("arbiter.used_mb", [this] {
+            return arbiter_->used_mb();
+        });
+        metrics_->register_counter("arbiter.rearbitrations", [this] {
+            return double(arbiter_->rearbitrations());
+        });
+        for (std::size_t i = 0; i < surfaces_.size(); ++i) {
+            Surface *sp = &surfaces_[i];
+            const std::string p = sp->desc.name + ".";
+            metrics_->register_gauge(p + "queue.depth", [sp] {
+                return double(sp->queue->queued_count());
+            });
+            metrics_->register_counter(p + "presents", [sp] {
+                return double(sp->panel->presented());
+            });
+            metrics_->register_counter(p + "drops", [sp] {
+                return double(sp->stats->frame_drops());
+            });
+            if (sp->runtime) {
+                metrics_->register_gauge(p + "degraded", [sp] {
+                    return sp->runtime->degraded() ? 1.0 : 0.0;
+                });
+            }
+        }
+        // Same sparse default cadence as RenderSystem (16 refresh
+        // periods); dense sampling is opt-in via with_metrics_interval.
+        const Time interval = config.metrics_interval > 0
+                                  ? config.metrics_interval
+                                  : config.device.period() * 16;
+        metrics_->install(sim_, interval);
     }
 }
 
@@ -307,6 +361,20 @@ MultiSurfaceSystem::report() const
             sr.degradations = s.runtime->degradations();
             sr.repromotions = s.runtime->repromotions();
         }
+        sr.drop_causes = s.classifier->counts();
+        sr.drops_injected = s.classifier->injected_drops();
+        std::uint64_t attributed = 0;
+        for (int c = 0; c < kDropCauseCount; ++c) {
+            attributed += sr.drop_causes[c];
+            r.drop_causes[c] += sr.drop_causes[c];
+        }
+        if (attributed != st.frame_drops()) {
+            panic("surface %s drop attribution out of sync: "
+                  "%llu causes vs %llu drops",
+                  s.desc.name.c_str(), (unsigned long long)attributed,
+                  (unsigned long long)st.frame_drops());
+        }
+        r.drops_injected += sr.drops_injected;
         r.surfaces.push_back(std::move(sr));
 
         r.drops += st.frame_drops();
@@ -416,6 +484,9 @@ MultiSurfaceSystem::export_trace(TraceLog &log) const
         }
     }
 
+    // Flow events: follow one frame across its surface's tracks.
+    forensics().export_flows(log);
+
     // Arbiter history: per-surface grants and the budget line.
     for (const AllocSample &sample : alloc_log_) {
         if (sample.surface >= 0) {
@@ -428,6 +499,35 @@ MultiSurfaceSystem::export_trace(TraceLog &log) const
                         arbiter_->budget_mb());
         }
     }
+}
+
+FrameForensics
+MultiSurfaceSystem::forensics() const
+{
+    if (!ran_)
+        panic("MultiSurfaceSystem::forensics before run");
+    FrameForensics f;
+    for (const Surface &s : surfaces_) {
+        f.add_surface(s.desc.name, *s.producer, *s.stats,
+                      s.classifier.get());
+    }
+    return f;
+}
+
+bool
+MultiSurfaceSystem::save_forensics(const std::string &path) const
+{
+    std::string scenario = "multi[";
+    for (std::size_t i = 0; i < surfaces_.size(); ++i) {
+        if (i > 0)
+            scenario += '+';
+        scenario += surfaces_[i].desc.name;
+    }
+    scenario += ']';
+    return forensics().save(path, scenario,
+                            std::string("Multi/") +
+                                to_string(config_.policy),
+                            metrics_.get());
 }
 
 RunReport

@@ -51,6 +51,9 @@
 #include "fault/invariant_monitor.h"
 #include "metrics/frame_stats.h"
 #include "metrics/run_report.h"
+#include "obs/drop_classifier.h"
+#include "obs/frame_forensics.h"
+#include "obs/metrics_registry.h"
 #include "pipeline/compositor.h"
 #include "pipeline/producer.h"
 #include "sim/simulator.h"
@@ -95,6 +98,12 @@ struct MultiSurfaceConfig {
     /** Fault plan injected into fault_surface; null = no injection. */
     std::shared_ptr<const FaultPlan> faults;
     int fault_surface = 0;
+
+    /** Enable the metrics registry + forensic exports (see SystemConfig). */
+    bool forensics = false;
+
+    /** Metrics sampling cadence; 0 derives the device refresh period. */
+    Time metrics_interval = 0;
 
     MultiSurfaceConfig() : device(pixel5()) {}
 
@@ -151,6 +160,16 @@ struct MultiSurfaceConfig {
     {
         faults = std::move(plan);
         fault_surface = surface;
+        return *this;
+    }
+    MultiSurfaceConfig &with_forensics(bool on)
+    {
+        forensics = on;
+        return *this;
+    }
+    MultiSurfaceConfig &with_metrics_interval(Time interval)
+    {
+        metrics_interval = interval;
         return *this;
     }
 };
@@ -267,6 +286,21 @@ class MultiSurfaceSystem
      */
     void export_trace(TraceLog &log) const;
 
+    /** Drop classifier of surface @p i (always on). */
+    const DropClassifier &classifier(int i) const
+    {
+        return *surfaces_[std::size_t(i)].classifier;
+    }
+
+    /** Metrics registry; null unless config.forensics is on. */
+    MetricsRegistry *metrics() { return metrics_.get(); }
+
+    /** Per-frame causal chains of every surface (post-run). */
+    FrameForensics forensics() const;
+
+    /** Write the forensics dump as JSON to @p path. */
+    bool save_forensics(const std::string &path) const;
+
   private:
     struct Surface {
         SurfaceDesc desc;
@@ -279,6 +313,7 @@ class MultiSurfaceSystem
         std::unique_ptr<DisplayTimeVirtualizer> dtv;
         std::unique_ptr<FramePreExecutor> fpe;
         std::unique_ptr<FrameStats> stats;
+        std::unique_ptr<DropClassifier> classifier;
         std::unique_ptr<InvariantMonitor> monitor;
         bool degraded_seen = false; ///< last watchdog state forwarded
     };
@@ -305,6 +340,7 @@ class MultiSurfaceSystem
     std::unique_ptr<InvariantMonitor> display_monitor_;
     std::unique_ptr<BufferBudgetArbiter> arbiter_;
     std::unique_ptr<FaultInjector> injector_;
+    std::unique_ptr<MetricsRegistry> metrics_;
     std::vector<AllocSample> alloc_log_;
     Time session_end_ = 0; ///< last scenario's end time
     bool ran_ = false;

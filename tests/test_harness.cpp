@@ -3,7 +3,7 @@
  * Tests of the parallel experiment harness and the unified RunReport
  * API: thread-count invariance (jobs=1 vs jobs=N byte-identical),
  * submission-order results, RunReport aggregation semantics, the
- * run_experiment / run_fdps entry points, and the fluent SystemConfig
+ * run_experiment entry point, and the fluent SystemConfig
  * setters.
  */
 
@@ -255,14 +255,14 @@ TEST(RunExperiment, OneCallEqualsManualRun)
     EXPECT_EQ(manual, oneshot);
 }
 
-TEST(RunExperiment, RunFdpsIsAThinWrapper)
+TEST(RunExperiment, FdpsIsDeterministicAcrossRuns)
 {
     auto cost = std::make_shared<PeriodicSpikeCostModel>(
         FrameCost{1_ms, 4_ms}, FrameCost{1_ms, 30_ms}, 10, 5);
     Scenario sc("spiky");
     sc.animate(1_s, cost);
     SystemConfig cfg;
-    EXPECT_EQ(run_fdps(cfg, sc), run_experiment(cfg, sc).fdps);
+    EXPECT_EQ(run_experiment(cfg, sc).fdps, run_experiment(cfg, sc).fdps);
 }
 
 TEST(SystemConfig, FluentSettersMatchMutation)

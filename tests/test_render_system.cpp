@@ -120,10 +120,10 @@ TEST(RenderSystem, JitterDoesNotBreakSmoothRuns)
     }
 }
 
-TEST(RenderSystem, RunFdpsConvenience)
+TEST(RenderSystem, RunExperimentConvenience)
 {
     SystemConfig cfg;
-    EXPECT_EQ(run_fdps(cfg, steady(300_ms)), 0.0);
+    EXPECT_EQ(run_experiment(cfg, steady(300_ms)).fdps, 0.0);
 }
 
 class RateSweep : public ::testing::TestWithParam<double>

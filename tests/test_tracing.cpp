@@ -319,3 +319,39 @@ TEST(TraceExport, PreRenderedFramesLabelled)
     sys.export_trace(log);
     EXPECT_NE(log.to_json().find("(pre)"), std::string::npos);
 }
+
+TEST(TraceLog, EventCapCountsDroppedEvents)
+{
+    TraceLog log;
+    log.set_event_cap(3);
+    for (int i = 0; i < 5; ++i)
+        log.instant("t", "e", Time(i) * 1_ms);
+    EXPECT_EQ(log.size(), 3u);
+    EXPECT_EQ(log.dropped_events(), 2u);
+    // The kept prefix still serializes; the overflow never made it in.
+    EXPECT_NE(log.to_json().find("\"ph\":\"i\""), std::string::npos);
+    log.clear();
+    EXPECT_EQ(log.dropped_events(), 0u);
+}
+
+TEST(TraceLog, SaveReportsUnwritablePath)
+{
+    TraceLog log;
+    log.instant("t", "e", 0);
+    EXPECT_FALSE(log.save("/nonexistent-dir-dvs-xyz/trace.json"));
+}
+
+TEST(TraceLog, FlowEventsSerialized)
+{
+    TraceLog log;
+    log.flow_begin("ui thread", "frame 0", 1_ms, 7);
+    log.flow_step("render thread", "frame 0", 2_ms, 7);
+    log.flow_end("display", "frame 0", 3_ms, 7);
+    const std::string json = log.to_json();
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+    EXPECT_NE(json.find("\"id\":7"), std::string::npos);
+    // Terminating flows bind to the enclosing slice.
+    EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+}
