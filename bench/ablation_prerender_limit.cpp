@@ -47,9 +47,13 @@ main(int argc, char **argv)
                                         limit + 2, setup, 77);
         points.insert(points.end(), cell.begin(), cell.end());
     }
-    const ExperimentRunner runner(parse_jobs(argc, argv));
-    const std::vector<RunReport> cells =
-        average_groups(runner.run(points), setup.repeats);
+    ArgParser args(argc, argv);
+    const ExperimentRunner runner(args.jobs());
+    args.finish();
+    // Streamed: repeats fold into their cell average on delivery.
+    GroupAverageSink sink(setup.repeats);
+    runner.run_stream(points, sink);
+    const std::vector<RunReport> cells = sink.take();
     const RunReport &baseline = cells.front();
 
     TableReporter table({"limit", "buffers", "memory MB", "FDPS",

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "sim/logging.h"
+
 namespace dvs::bench {
 
 const ExperimentRunner &
@@ -22,6 +24,163 @@ parse_jobs(int argc, char **argv)
             flag = std::atoi(argv[i] + 7);
     }
     return default_jobs(flag);
+}
+
+ArgParser::ArgParser(int argc, char **argv)
+    : prog_(argc > 0 ? argv[0] : "bench")
+{
+    for (int i = 1; i < argc; ++i) {
+        Arg a;
+        const char *s = argv[i];
+        if (s[0] == '-' && s[1] == '-' && s[2] != '\0') {
+            const char *eq = std::strchr(s + 2, '=');
+            if (eq) {
+                a.name.assign(s + 2, eq);
+                a.value = eq + 1;
+                a.has_value = true;
+            } else {
+                a.name = s + 2;
+            }
+        } else {
+            a.value = s; // positional
+        }
+        args_.push_back(std::move(a));
+    }
+}
+
+ArgParser::Arg *
+ArgParser::find(const char *name)
+{
+    // Last occurrence wins (conventional override order); earlier
+    // occurrences are consumed too so finish() does not flag them.
+    Arg *hit = nullptr;
+    for (Arg &a : args_) {
+        if (!a.name.empty() && a.name == name) {
+            a.consumed = true;
+            hit = &a;
+        }
+    }
+    return hit;
+}
+
+int
+ArgParser::int_flag(const char *name, int def)
+{
+    const Arg *a = find(name);
+    if (!a)
+        return def;
+    if (!a->has_value)
+        fatal("--%s needs a value (--%s=N)", name, name);
+    char *end = nullptr;
+    const long v = std::strtol(a->value.c_str(), &end, 10);
+    if (a->value.empty() || *end != '\0')
+        fatal("--%s=%s is not an integer", name, a->value.c_str());
+    return int(v);
+}
+
+std::uint64_t
+ArgParser::u64_flag(const char *name, std::uint64_t def)
+{
+    const Arg *a = find(name);
+    if (!a)
+        return def;
+    if (!a->has_value)
+        fatal("--%s needs a value (--%s=N)", name, name);
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(a->value.c_str(), &end, 10);
+    if (a->value.empty() || *end != '\0' || a->value[0] == '-')
+        fatal("--%s=%s is not a non-negative integer", name,
+              a->value.c_str());
+    return std::uint64_t(v);
+}
+
+double
+ArgParser::double_flag(const char *name, double def)
+{
+    const Arg *a = find(name);
+    if (!a)
+        return def;
+    if (!a->has_value)
+        fatal("--%s needs a value (--%s=X)", name, name);
+    char *end = nullptr;
+    const double v = std::strtod(a->value.c_str(), &end);
+    if (a->value.empty() || *end != '\0')
+        fatal("--%s=%s is not a number", name, a->value.c_str());
+    return v;
+}
+
+std::string
+ArgParser::string_flag(const char *name, std::string def)
+{
+    const Arg *a = find(name);
+    if (!a)
+        return def;
+    if (!a->has_value)
+        fatal("--%s needs a value (--%s=...)", name, name);
+    return a->value;
+}
+
+bool
+ArgParser::bool_flag(const char *name)
+{
+    const Arg *a = find(name);
+    if (!a)
+        return false;
+    if (a->has_value)
+        fatal("--%s takes no value", name);
+    return true;
+}
+
+ShardSpec
+ArgParser::shard_flag(const char *name)
+{
+    const std::string text = string_flag(name, "");
+    if (text.empty())
+        return ShardSpec{};
+    const std::size_t slash = text.find('/');
+    ShardSpec shard;
+    char *end = nullptr;
+    if (slash != std::string::npos) {
+        shard.index = std::strtoull(text.c_str(), &end, 10);
+        const bool index_ok = end == text.c_str() + slash;
+        shard.count = std::strtoull(text.c_str() + slash + 1, &end, 10);
+        if (index_ok && *end == '\0' && shard.count > 0 &&
+            shard.index < shard.count)
+            return shard;
+    }
+    fatal("--%s=%s is not K/N with 0 <= K < N", name, text.c_str());
+}
+
+int
+ArgParser::jobs()
+{
+    return default_jobs(int_flag("jobs", 0));
+}
+
+std::vector<std::string>
+ArgParser::positional(std::size_t max)
+{
+    std::vector<std::string> out;
+    for (Arg &a : args_) {
+        if (a.name.empty() && !a.consumed && out.size() < max) {
+            a.consumed = true;
+            out.push_back(a.value);
+        }
+    }
+    return out;
+}
+
+void
+ArgParser::finish()
+{
+    for (const Arg &a : args_) {
+        if (a.consumed)
+            continue;
+        if (!a.name.empty())
+            fatal("%s: unknown flag --%s", prog_.c_str(), a.name.c_str());
+        fatal("%s: unexpected argument '%s'", prog_.c_str(),
+              a.value.c_str());
+    }
 }
 
 RunReport
@@ -84,6 +243,31 @@ average_groups(const std::vector<RunReport> &reports, int group_size)
         cells.push_back(RunReport::averaged(group));
     }
     return cells;
+}
+
+GroupAverageSink::GroupAverageSink(int group_size)
+    : group_size_(group_size > 0 ? std::size_t(group_size) : 1)
+{
+}
+
+void
+GroupAverageSink::consume(std::size_t, RunReport &&report)
+{
+    pending_.push_back(std::move(report));
+    if (pending_.size() == group_size_) {
+        cells_.push_back(RunReport::averaged(pending_));
+        pending_.clear();
+    }
+}
+
+std::vector<RunReport>
+GroupAverageSink::take()
+{
+    if (!pending_.empty()) {
+        cells_.push_back(RunReport::averaged(pending_));
+        pending_.clear();
+    }
+    return std::move(cells_);
 }
 
 ProfileSpec

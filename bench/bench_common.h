@@ -62,6 +62,82 @@ const ExperimentRunner &bench_runner();
 /** Parse a --jobs=N argument; falls back to $DVS_JOBS, then all cores. */
 int parse_jobs(int argc, char **argv);
 
+/** A `--shard=K/N` slice: global session indices congruent to K mod N. */
+struct ShardSpec {
+    std::uint64_t index = 0;
+    std::uint64_t count = 1;
+
+    /** Sessions of this shard for a campaign of @p total sessions. */
+    std::uint64_t size(std::uint64_t total) const
+    {
+        return index >= total ? 0 : (total - index - 1) / count + 1;
+    }
+    /** Global session index of this shard's local position @p p. */
+    std::uint64_t global(std::uint64_t p) const { return index + p * count; }
+};
+
+/**
+ * Uniform flag parsing for the bench binaries. Flags use the repo-wide
+ * `--name=value` convention (presence flags take no value); each typed
+ * accessor *consumes* its flag, and finish() rejects anything left over,
+ * so a typo'd flag is a hard error in every bench instead of a silent
+ * no-op in some of them.
+ *
+ *   bench::ArgParser args(argc, argv);
+ *   const int seeds = args.int_flag("seeds", 50);
+ *   const bool golden = args.bool_flag("golden");
+ *   const int jobs = args.jobs();
+ *   args.finish(); // fatal() on unknown flags / stray positionals
+ *
+ * Accessors fatal() on malformed values (non-numeric, missing `=`),
+ * which exits 1 — or throws ConfigError under a FatalThrowsScope, which
+ * is how the tests pin the behavior.
+ */
+class ArgParser
+{
+  public:
+    ArgParser(int argc, char **argv);
+
+    /** `--name=N` as int; @p def when absent. */
+    int int_flag(const char *name, int def);
+
+    /** `--name=N` as a non-negative 64-bit count; @p def when absent. */
+    std::uint64_t u64_flag(const char *name, std::uint64_t def);
+
+    /** `--name=X` as double; @p def when absent. */
+    double double_flag(const char *name, double def);
+
+    /** `--name=S` as string; @p def when absent. */
+    std::string string_flag(const char *name, std::string def = "");
+
+    /** Presence flag `--name` (no value). */
+    bool bool_flag(const char *name);
+
+    /** `--name=K/N` with 0 <= K < N; {0, 1} when absent. */
+    ShardSpec shard_flag(const char *name);
+
+    /** Worker count: `--jobs=N`, then $DVS_JOBS, then all cores. */
+    int jobs();
+
+    /** Claim up to @p max positional (non-flag) arguments, in order. */
+    std::vector<std::string> positional(std::size_t max);
+
+    /** Reject unconsumed flags and positionals. Call after all accessors. */
+    void finish();
+
+  private:
+    struct Arg {
+        std::string name;  ///< flag name (empty for positionals)
+        std::string value; ///< value text (or the positional itself)
+        bool has_value = false;
+        bool consumed = false;
+    };
+    Arg *find(const char *name);
+
+    std::string prog_;
+    std::vector<Arg> args_;
+};
+
 /** Run one configuration once and summarize. */
 RunReport run_system(const SystemConfig &config, const Scenario &scenario);
 
@@ -88,6 +164,28 @@ RunReport run_profile(const ProfileSpec &spec, const DeviceConfig &device,
  */
 std::vector<RunReport> average_groups(const std::vector<RunReport> &reports,
                                       int group_size);
+
+/**
+ * Streaming counterpart of average_groups: a sink that folds every
+ * @p group_size consecutive reports (one cell's repeats) into one
+ * averaged cell on delivery. Peak retention is the finished cells plus
+ * at most one partial group — not the raw report list.
+ */
+class GroupAverageSink final : public ReportSink
+{
+  public:
+    explicit GroupAverageSink(int group_size);
+
+    void consume(std::size_t index, RunReport &&report) override;
+
+    /** Finished cells (averaging any trailing partial group). */
+    std::vector<RunReport> take();
+
+  private:
+    std::size_t group_size_;
+    std::vector<RunReport> pending_; ///< current group, < group_size_
+    std::vector<RunReport> cells_;
+};
 
 /** Percentage reduction from a to b (positive = improvement). */
 double reduction_percent(double a, double b);

@@ -75,20 +75,13 @@ struct Cell {
 int
 main(int argc, char **argv)
 {
-    int seeds = 50;
-    bool golden = false;
-    std::string out_path = "BENCH_chaos.json";
-    std::string forensics_path;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--seeds=", 8) == 0)
-            seeds = std::atoi(argv[i] + 8);
-        else if (std::strncmp(argv[i], "--out=", 6) == 0)
-            out_path = argv[i] + 6;
-        else if (std::strcmp(argv[i], "--golden") == 0)
-            golden = true;
-        else if (std::strncmp(argv[i], "--forensics=", 12) == 0)
-            forensics_path = argv[i] + 12;
-    }
+    ArgParser args(argc, argv);
+    int seeds = args.int_flag("seeds", 50);
+    bool golden = args.bool_flag("golden");
+    std::string out_path = args.string_flag("out", "BENCH_chaos.json");
+    const std::string forensics_path = args.string_flag("forensics");
+    const int jobs = args.jobs();
+    args.finish();
     if (seeds < 1)
         fatal("--seeds must be >= 1");
     if (golden) {
@@ -127,43 +120,54 @@ main(int argc, char **argv)
         }
     }
 
-    const ExperimentRunner runner(parse_jobs(argc, argv));
-    const std::vector<RunReport> reports = runner.run(points);
-
+    // Streaming fold: every report lands in its (mix, mode) cell and
+    // the campaign-wide cause tally on delivery, then is dropped —
+    // nothing is retained, whatever --seeds says.
     std::vector<Cell> cells;
-    std::uint64_t total_violations = 0;
-    int total_errors = 0;
-    std::size_t idx = 0;
     for (const FaultMix &mix : mixes) {
         for (RenderMode mode : modes) {
             Cell cell;
             cell.mix = mix.name;
             cell.mode = to_string(mode);
-            for (int s = 0; s < seeds; ++s, ++idx) {
-                const RunReport &r = reports[idx];
-                ++cell.runs;
-                cell.violations += r.invariant_violations;
-                cell.faults += r.faults_injected;
-                cell.presents += r.presents;
-                cell.drops += r.drops;
-                cell.degradations += r.degradations;
-                cell.repromotions += r.repromotions;
-                if (!r.error.empty()) {
-                    ++cell.errors;
-                    std::printf("ERROR %s: %s\n", r.label.c_str(),
-                                r.error.c_str());
-                }
-                if (r.invariant_violations > 0) {
-                    std::printf("VIOLATIONS %s: %llu\n", r.label.c_str(),
-                                (unsigned long long)r.invariant_violations);
-                }
-                if (golden)
-                    std::printf("%s\n", r.debug_string().c_str());
-            }
-            total_violations += cell.violations;
-            total_errors += cell.errors;
             cells.push_back(cell);
         }
+    }
+    std::uint64_t cause_totals[kDropCauseCount] = {};
+    std::uint64_t injected_drops = 0;
+    std::uint64_t total_drops = 0;
+    CallbackSink sink([&](std::size_t idx, RunReport &&r) {
+        Cell &cell = cells[idx / std::size_t(seeds)];
+        ++cell.runs;
+        cell.violations += r.invariant_violations;
+        cell.faults += r.faults_injected;
+        cell.presents += r.presents;
+        cell.drops += r.drops;
+        cell.degradations += r.degradations;
+        cell.repromotions += r.repromotions;
+        for (int c = 0; c < kDropCauseCount; ++c)
+            cause_totals[c] += r.drop_causes[c];
+        injected_drops += r.drops_injected;
+        total_drops += r.drops;
+        if (!r.error.empty()) {
+            ++cell.errors;
+            std::printf("ERROR %s: %s\n", r.label.c_str(),
+                        r.error.c_str());
+        }
+        if (r.invariant_violations > 0) {
+            std::printf("VIOLATIONS %s: %llu\n", r.label.c_str(),
+                        (unsigned long long)r.invariant_violations);
+        }
+        if (golden)
+            std::printf("%s\n", r.debug_string().c_str());
+    });
+    const ExperimentRunner runner(jobs);
+    runner.run_stream(points, sink);
+
+    std::uint64_t total_violations = 0;
+    int total_errors = 0;
+    for (const Cell &cell : cells) {
+        total_violations += cell.violations;
+        total_errors += cell.errors;
     }
 
     std::printf("chaos campaign: %d seeds x %zu mixes x 2 modes "
@@ -182,15 +186,6 @@ main(int argc, char **argv)
                     (unsigned long long)c.degradations, c.errors);
     }
     // Root-cause roll-up: every drop in the campaign must carry a cause.
-    std::uint64_t cause_totals[kDropCauseCount] = {};
-    std::uint64_t injected_drops = 0;
-    std::uint64_t total_drops = 0;
-    for (const RunReport &r : reports) {
-        for (int c = 0; c < kDropCauseCount; ++c)
-            cause_totals[c] += r.drop_causes[c];
-        injected_drops += r.drops_injected;
-        total_drops += r.drops;
-    }
     std::printf("\ndrop causes (all runs):");
     for (int c = 0; c < kDropCauseCount; ++c) {
         if (cause_totals[c] > 0)

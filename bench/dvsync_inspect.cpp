@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "obs/drop_cause.h"
 #include "obs/json_view.h"
 
@@ -82,16 +83,12 @@ frame_title(const JsonValue &frame, const JsonValue &surface)
 int
 main(int argc, char **argv)
 {
-    std::string path;
-    int top = 5;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--top=", 6) == 0)
-            top = std::atoi(argv[i] + 6);
-        else if (std::strcmp(argv[i], "--golden") == 0)
-            ; // output is deterministic either way
-        else
-            path = argv[i];
-    }
+    bench::ArgParser args(argc, argv);
+    const int top = args.int_flag("top", 5);
+    args.bool_flag("golden"); // output is deterministic either way
+    const std::vector<std::string> paths = args.positional(1);
+    args.finish();
+    const std::string path = paths.empty() ? "" : paths.front();
     if (path.empty() || top < 1) {
         std::fprintf(stderr,
                      "usage: dvsync_inspect DUMP.json [--top=K] "

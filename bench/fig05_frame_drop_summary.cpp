@@ -72,7 +72,9 @@ main(int argc, char **argv)
 
     SwipeSetup setup = SwipeSetup::os_cases();
     setup.repeats = 2;
-    const ExperimentRunner runner(parse_jobs(argc, argv));
+    ArgParser args(argc, argv);
+    const ExperimentRunner runner(args.jobs());
+    args.finish();
 
     TableReporter table(
         {"configuration", "avg FD%", "max FD%", "paper avg", "paper max"});

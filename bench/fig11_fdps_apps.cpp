@@ -53,9 +53,13 @@ main(int argc, char **argv)
                           cell_points.end());
         }
     }
-    const ExperimentRunner runner(parse_jobs(argc, argv));
-    const std::vector<RunReport> results =
-        average_groups(runner.run(points), setup.repeats);
+    ArgParser args(argc, argv);
+    const ExperimentRunner runner(args.jobs());
+    args.finish();
+    // Streamed: repeats fold into their cell average on delivery.
+    GroupAverageSink sink(setup.repeats);
+    runner.run_stream(points, sink);
+    const std::vector<RunReport> results = sink.take();
 
     TableReporter table({"app", "paper", "VSync 3", "D-VSync 4",
                          "D-VSync 5", "D-VSync 7", "reduction@5"});

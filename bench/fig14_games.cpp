@@ -82,7 +82,9 @@ main(int argc, char **argv)
     TableReporter table({"game", "rate", "paper", "VSync 3", "D-VSync 4",
                          "D-VSync 5"});
 
-    const ExperimentRunner runner(parse_jobs(argc, argv));
+    ArgParser args(argc, argv);
+    const ExperimentRunner runner(args.jobs());
+    args.finish();
 
     // Calibrate each game's trace, then replay every game under all
     // three buffer configurations as one parallel batch.

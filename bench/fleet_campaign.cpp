@@ -138,17 +138,12 @@ struct Cell {
 int
 main(int argc, char **argv)
 {
-    int seeds = 10;
-    bool golden = false;
-    std::string out_path = "BENCH_fleet.json";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--seeds=", 8) == 0)
-            seeds = std::atoi(argv[i] + 8);
-        else if (std::strncmp(argv[i], "--out=", 6) == 0)
-            out_path = argv[i] + 6;
-        else if (std::strcmp(argv[i], "--golden") == 0)
-            golden = true;
-    }
+    ArgParser args(argc, argv);
+    int seeds = args.int_flag("seeds", 10);
+    bool golden = args.bool_flag("golden");
+    std::string out_path = args.string_flag("out", "BENCH_fleet.json");
+    const int jobs = args.jobs();
+    args.finish();
     if (seeds < 1)
         fatal("--seeds must be >= 1");
     if (golden) {
@@ -162,9 +157,9 @@ main(int argc, char **argv)
                                       ArbiterPolicy::kEqualSplit};
 
     // The grid, count-major: every (count, budget, policy) cell holds
-    // `seeds` sessions. Tasks own their descriptors and config; the
-    // harness runs them like any other experiment batch.
-    std::vector<ExperimentRunner::Task> tasks;
+    // `seeds` sessions. TaskSpecs carry the submission label, so even a
+    // session that dies before labeling itself reports under its cell.
+    std::vector<ExperimentRunner::TaskSpec> tasks;
     std::vector<Cell> cells;
     for (int count : counts) {
         for (double budget : budgets) {
@@ -176,69 +171,74 @@ main(int argc, char **argv)
                 cells.push_back(cell);
                 for (int s = 0; s < seeds; ++s) {
                     const std::uint64_t seed = std::uint64_t(s) + 1;
-                    const std::string label =
-                        std::to_string(count) + "surf/" +
-                        std::to_string(int(budget)) + "mb/" +
-                        to_string(policy) + "/seed" + std::to_string(seed);
-                    tasks.push_back([count, budget, policy, seed, label] {
-                        RunReport r = run_multi_surface(
+                    ExperimentRunner::TaskSpec spec;
+                    spec.label = std::to_string(count) + "surf/" +
+                                 std::to_string(int(budget)) + "mb/" +
+                                 to_string(policy) + "/seed" +
+                                 std::to_string(seed);
+                    spec.run = [count, budget, policy, seed] {
+                        return run_multi_surface(
                             roster(count, seed),
                             MultiSurfaceConfig()
                                 .with_seed(seed)
                                 .with_budget_mb(budget)
                                 .with_policy(policy));
-                        r.label = label;
-                        return r;
-                    });
+                    };
+                    tasks.push_back(std::move(spec));
                 }
             }
         }
     }
 
-    const ExperimentRunner runner(parse_jobs(argc, argv));
+    // Streaming fold into the per-cell aggregates; reports are dropped
+    // on delivery.
+    std::uint64_t total_violations = 0;
+    int total_errors = 0;
+    std::uint64_t cause_totals[kDropCauseCount] = {};
+    std::uint64_t injected_drops = 0;
+    std::uint64_t total_drops = 0;
+    CallbackSink sink([&](std::size_t idx, RunReport &&r) {
+        for (int c = 0; c < kDropCauseCount; ++c)
+            cause_totals[c] += r.drop_causes[c];
+        injected_drops += r.drops_injected;
+        total_drops += r.drops;
+        Cell &cell = cells[idx / std::size_t(seeds)];
+        ++cell.runs;
+        cell.violations += r.invariant_violations;
+        cell.drops += r.drops;
+        cell.presents += r.presents;
+        cell.degradations += r.degradations;
+        cell.rearbitrations += r.rearbitrations;
+        cell.peak_used_mb = std::max(cell.peak_used_mb, r.budget_used_mb);
+        cell.fdps_sum += r.fdps;
+        if (cell.surfaces.size() < r.surfaces.size())
+            cell.surfaces.resize(r.surfaces.size());
+        for (std::size_t j = 0; j < r.surfaces.size(); ++j) {
+            SurfaceAgg &agg = cell.surfaces[j];
+            agg.name = r.surfaces[j].name;
+            agg.drops += r.surfaces[j].drops;
+            agg.due += r.surfaces[j].frames_due;
+            agg.fdps_sum += r.surfaces[j].fdps;
+        }
+        if (!r.error.empty()) {
+            ++cell.errors;
+            ++total_errors;
+            std::printf("ERROR %s: %s\n", r.label.c_str(), r.error.c_str());
+        }
+        if (r.invariant_violations > 0)
+            std::printf("VIOLATIONS %s: %llu\n", r.label.c_str(),
+                        (unsigned long long)r.invariant_violations);
+        total_violations += r.invariant_violations;
+        if (golden)
+            std::printf("%s\n", r.debug_string().c_str());
+    });
+
+    const ExperimentRunner runner(jobs);
     const auto t0 = std::chrono::steady_clock::now();
-    const std::vector<RunReport> reports = runner.run_tasks(tasks);
+    runner.run_tasks_stream(tasks, sink);
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-
-    std::uint64_t total_violations = 0;
-    int total_errors = 0;
-    std::size_t idx = 0;
-    for (Cell &cell : cells) {
-        for (int s = 0; s < seeds; ++s, ++idx) {
-            const RunReport &r = reports[idx];
-            ++cell.runs;
-            cell.violations += r.invariant_violations;
-            cell.drops += r.drops;
-            cell.presents += r.presents;
-            cell.degradations += r.degradations;
-            cell.rearbitrations += r.rearbitrations;
-            cell.peak_used_mb = std::max(cell.peak_used_mb, r.budget_used_mb);
-            cell.fdps_sum += r.fdps;
-            if (cell.surfaces.size() < r.surfaces.size())
-                cell.surfaces.resize(r.surfaces.size());
-            for (std::size_t j = 0; j < r.surfaces.size(); ++j) {
-                SurfaceAgg &agg = cell.surfaces[j];
-                agg.name = r.surfaces[j].name;
-                agg.drops += r.surfaces[j].drops;
-                agg.due += r.surfaces[j].frames_due;
-                agg.fdps_sum += r.surfaces[j].fdps;
-            }
-            if (!r.error.empty()) {
-                ++cell.errors;
-                std::printf("ERROR %s: %s\n", r.label.c_str(),
-                            r.error.c_str());
-            }
-            if (r.invariant_violations > 0)
-                std::printf("VIOLATIONS %s: %llu\n", r.label.c_str(),
-                            (unsigned long long)r.invariant_violations);
-            if (golden)
-                std::printf("%s\n", r.debug_string().c_str());
-        }
-        total_violations += cell.violations;
-        total_errors += cell.errors;
-    }
 
     std::printf("fleet campaign: %d seeds x %zu counts x %zu budgets x "
                 "%zu policies (%zu sessions)\n\n",
@@ -281,15 +281,6 @@ main(int argc, char **argv)
                 (unsigned long long)constrained_equal);
 
     // Root-cause roll-up: every drop in the fleet must carry a cause.
-    std::uint64_t cause_totals[kDropCauseCount] = {};
-    std::uint64_t injected_drops = 0;
-    std::uint64_t total_drops = 0;
-    for (const RunReport &r : reports) {
-        for (int c = 0; c < kDropCauseCount; ++c)
-            cause_totals[c] += r.drop_causes[c];
-        injected_drops += r.drops_injected;
-        total_drops += r.drops;
-    }
     std::printf("drop causes (all sessions):");
     for (int c = 0; c < kDropCauseCount; ++c) {
         if (cause_totals[c] > 0)

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Megafleet campaign (`BENCH_megafleet.json`): one million simulated
+ * user sessions streamed through the sink/aggregator pipeline.
+ *
+ * The point of this bench is the *shape* of the computation, not any
+ * single number: a weighted device-tier x app-class population
+ * (DevicePopulation) materializes each (config, scenario, seed) lazily,
+ * the harness streams every finished RunReport into a
+ * CampaignAggregator, and nothing else is ever retained. Peak RSS is
+ * measured and printed — it must stay flat whether the campaign runs
+ * 10k or 1M sessions, which is the property that makes fleet-scale
+ * sweeps possible at all.
+ *
+ * Usage: megafleet_campaign [--sessions=N] [--shard=K/N] [--jobs=N]
+ *                           [--seed=N] [--checkpoint=PATH] [--resume]
+ *                           [--checkpoint-every=N] [--merge PATHS...]
+ *                           [--out=PATH] [--rss-limit-mb=N] [--golden]
+ *   --sessions=N     campaign size (default 1000000)
+ *   --shard=K/N      run only global session indices congruent to K
+ *                    mod N; the aggregator checkpoints of all N shards
+ *                    merge to the byte-exact unsharded state
+ *   --seed=N         population seed (default 1)
+ *   --checkpoint=PATH  write the aggregator checkpoint JSON here
+ *   --resume         load --checkpoint first and skip the sessions it
+ *                    already covers (its in-order watermark)
+ *   --checkpoint-every=N  additionally save every N consumed sessions
+ *   --merge          merge mode: load the positional checkpoint paths,
+ *                    fold them together, print the merged summary
+ *                    (saving to --checkpoint when given), run nothing
+ *   --out=PATH       JSON bench record (default BENCH_megafleet.json;
+ *                    "-" suppresses the file)
+ *   --rss-limit-mb=N fail if peak RSS exceeds N MB (default 1024)
+ *   --golden         deterministic 240-session replay for the golden
+ *                    check (summary only: no timing, no RSS)
+ *
+ * Exits nonzero when any session fails, violates an invariant, drops a
+ * frame without an attributed cause, or the RSS bound is exceeded.
+ */
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "harness/aggregator.h"
+#include "sim/logging.h"
+#include "workload/device_population.h"
+
+using namespace dvs;
+using namespace dvs::bench;
+
+namespace {
+
+/** Peak resident set size of this process, in MB. */
+double
+peak_rss_mb()
+{
+    struct rusage usage = {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0.0;
+    // Linux reports ru_maxrss in KB (macOS in bytes; this repo's CI is
+    // Linux, and the value is informational elsewhere).
+    return double(usage.ru_maxrss) / 1024.0;
+}
+
+int
+merge_checkpoints(const std::vector<std::string> &paths,
+                  const std::string &checkpoint_path)
+{
+    if (paths.empty())
+        fatal("--merge needs checkpoint paths as positional arguments");
+    CampaignAggregator merged;
+    std::string error;
+    if (!merged.load(paths.front(), &error))
+        fatal("cannot load %s: %s", paths.front().c_str(), error.c_str());
+    for (std::size_t i = 1; i < paths.size(); ++i) {
+        CampaignAggregator shard;
+        if (!shard.load(paths[i], &error))
+            fatal("cannot load %s: %s", paths[i].c_str(), error.c_str());
+        merged.merge(shard);
+    }
+    if (!checkpoint_path.empty() && !merged.save(checkpoint_path))
+        fatal("cannot write %s", checkpoint_path.c_str());
+    std::fputs(merged.summary().c_str(), stdout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    const bool golden = args.bool_flag("golden");
+    const std::uint64_t sessions_flag = args.u64_flag("sessions", 1'000'000);
+    const std::uint64_t sessions = golden ? 240 : sessions_flag;
+    const ShardSpec shard = args.shard_flag("shard");
+    const std::uint64_t seed = args.u64_flag("seed", 1);
+    const std::string checkpoint_path = args.string_flag("checkpoint");
+    const bool resume = args.bool_flag("resume");
+    const std::uint64_t checkpoint_every =
+        args.u64_flag("checkpoint-every", 0);
+    const bool merge = args.bool_flag("merge");
+    const std::string out_flag =
+        args.string_flag("out", "BENCH_megafleet.json");
+    const std::string out_path = golden ? "-" : out_flag;
+    const double rss_limit_mb = args.double_flag("rss-limit-mb", 1024.0);
+    const int jobs = args.jobs();
+    const std::vector<std::string> merge_paths =
+        merge ? args.positional(1024) : std::vector<std::string>{};
+    args.finish();
+
+    if (merge)
+        return merge_checkpoints(merge_paths, checkpoint_path);
+    if (sessions < 1)
+        fatal("--sessions must be >= 1");
+    if (resume && checkpoint_path.empty())
+        fatal("--resume needs --checkpoint=PATH");
+
+    const DevicePopulation fleet = DevicePopulation::paper_fleet(seed);
+
+    // The aggregator keys cohorts by report label, which the population
+    // sets to "<tier>/<mode>" — six cohorts, each with its twin.
+    CampaignAggregator agg;
+    if (resume) {
+        std::string error;
+        if (!agg.load(checkpoint_path, &error))
+            fatal("cannot resume from %s: %s", checkpoint_path.c_str(),
+                  error.c_str());
+    }
+
+    // This shard owns global indices K, K+N, K+2N, ...; a resumed run
+    // skips the local positions its checkpoint already covers.
+    const std::uint64_t shard_sessions = shard.size(sessions);
+    const std::uint64_t done = agg.resume_pos();
+    if (done > shard_sessions)
+        fatal("checkpoint covers %llu sessions but this shard has %llu",
+              (unsigned long long)done,
+              (unsigned long long)shard_sessions);
+    const std::uint64_t todo = shard_sessions - done;
+
+    const ExperimentRunner runner(jobs);
+    CallbackSink sink([&](std::size_t index, RunReport &&report) {
+        (void)index;
+        agg.consume(index, std::move(report));
+        if (checkpoint_every > 0 && agg.resume_pos() % checkpoint_every == 0
+            && !checkpoint_path.empty()) {
+            if (!agg.save(checkpoint_path))
+                fatal("cannot write %s", checkpoint_path.c_str());
+        }
+    });
+
+    const auto t0 = std::chrono::steady_clock::now();
+    runner.run_stream(
+        todo,
+        [&](std::size_t p) {
+            const std::uint64_t global = shard.global(done + p);
+            SessionSpec spec = fleet.session(global);
+            Experiment point;
+            point.config = spec.config;
+            point.scenario = std::move(spec.scenario);
+            point.label = std::move(spec.label);
+            return point;
+        },
+        sink);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    if (!checkpoint_path.empty() && !agg.save(checkpoint_path))
+        fatal("cannot write %s", checkpoint_path.c_str());
+
+    if (shard.count > 1)
+        std::printf("shard %llu/%llu: %llu of %llu sessions\n",
+                    (unsigned long long)shard.index,
+                    (unsigned long long)shard.count,
+                    (unsigned long long)shard_sessions,
+                    (unsigned long long)sessions);
+    std::fputs(agg.summary().c_str(), stdout);
+
+    const double rss_mb = peak_rss_mb();
+    if (!golden) {
+        std::printf("\nthroughput: %llu sessions in %.2f s (%.0f/s, "
+                    "jobs=%d)\n",
+                    (unsigned long long)todo, wall_s,
+                    wall_s > 0 ? double(todo) / wall_s : 0.0,
+                    runner.jobs());
+        std::printf("peak RSS: %.1f MB (limit %.0f MB)\n", rss_mb,
+                    rss_limit_mb);
+    }
+
+    if (out_path != "-") {
+        FILE *f = std::fopen(out_path.c_str(), "w");
+        if (!f)
+            fatal("cannot write %s", out_path.c_str());
+        std::fprintf(f,
+                     "{\n"
+                     "  \"bench\": \"megafleet_campaign\",\n"
+                     "  \"sessions\": %llu,\n"
+                     "  \"shard_index\": %llu,\n"
+                     "  \"shard_count\": %llu,\n"
+                     "  \"cohorts\": %zu,\n"
+                     "  \"errors\": %llu,\n"
+                     "  \"violations\": %llu,\n"
+                     "  \"wall_s\": %.3f,\n"
+                     "  \"sessions_per_sec\": %.1f,\n"
+                     "  \"peak_rss_mb\": %.1f,\n"
+                     "  \"jobs\": %d\n"
+                     "}\n",
+                     (unsigned long long)agg.sessions(),
+                     (unsigned long long)shard.index,
+                     (unsigned long long)shard.count, agg.cohorts().size(),
+                     (unsigned long long)agg.errors(),
+                     (unsigned long long)agg.invariant_violations(),
+                     wall_s, wall_s > 0 ? double(todo) / wall_s : 0.0,
+                     rss_mb, runner.jobs());
+        std::fclose(f);
+        std::fprintf(stderr, "record written to %s\n", out_path.c_str());
+    }
+
+    // Acceptance: a fleet campaign must complete clean — failed
+    // sessions, invariant violations, unattributed drops, or an
+    // unbounded memory footprint all fail the bench.
+    int rc = 0;
+    if (agg.errors() > 0) {
+        std::printf("FAIL: %llu failed sessions\n",
+                    (unsigned long long)agg.errors());
+        rc = 1;
+    }
+    if (agg.invariant_violations() > 0) {
+        std::printf("FAIL: %llu invariant violations\n",
+                    (unsigned long long)agg.invariant_violations());
+        rc = 1;
+    }
+    if (agg.unattributed_drops() > 0) {
+        std::printf("FAIL: %llu drops without an attributed cause\n",
+                    (unsigned long long)agg.unattributed_drops());
+        rc = 1;
+    }
+    if (rss_limit_mb > 0 && rss_mb > rss_limit_mb) {
+        std::printf("FAIL: peak RSS %.1f MB exceeds the %.0f MB bound\n",
+                    rss_mb, rss_limit_mb);
+        rc = 1;
+    }
+    return rc;
+}

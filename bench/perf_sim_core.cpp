@@ -253,17 +253,13 @@ fig11_sweep_points()
 int
 main(int argc, char **argv)
 {
-    int events = 1'000'000;
-    std::string out_path = "BENCH_simcore.json";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--events=", 9) == 0)
-            events = std::atoi(argv[i] + 9);
-        else if (std::strncmp(argv[i], "--out=", 6) == 0)
-            out_path = argv[i] + 6;
-    }
+    ArgParser args(argc, argv);
+    const int events = args.int_flag("events", 1'000'000);
+    const std::string out_path = args.string_flag("out", "BENCH_simcore.json");
+    const int jobs = args.jobs();
+    args.finish();
     if (events <= 0)
         fatal("--events must be positive");
-    const int jobs = parse_jobs(argc, argv);
     const int window = 1024;
 
     print_section("Simulator-core performance record");

@@ -122,7 +122,9 @@ main(int argc, char **argv)
             points.push_back(std::move(point));
         }
     }
-    const ExperimentRunner runner(parse_jobs(argc, argv));
+    ArgParser args(argc, argv);
+    const ExperimentRunner runner(args.jobs());
+    args.finish();
     const std::vector<RunReport> results = runner.run(points);
 
     TableReporter table({"task", "VSync", "D-VSync", "reduction",

@@ -20,6 +20,7 @@ for golden in bench/goldens/*.txt; do
         chaos_campaign.golden) continue ;;
         fleet_campaign.golden) continue ;;
         dvsync_inspect.golden) continue ;;
+        megafleet_campaign.golden) continue ;;
     esac
     bin="$BENCH_DIR/$name"
     if [[ ! -x "$bin" ]]; then
@@ -99,6 +100,22 @@ else
     echo "DIFF     fleet_campaign (golden replay)"
     diff bench/goldens/fleet_campaign.golden.txt \
          "$TMP/fleet_campaign.golden.txt" | head -20 || true
+    fail=1
+fi
+
+# megafleet_campaign: the bare binary runs a million sessions with
+# timing and RSS in its output, so the golden pins the deterministic
+# --golden replay (240-session fleet summary, byte-stable at any
+# --jobs) instead.
+"$BENCH_DIR/megafleet_campaign" --golden \
+    > "$TMP/megafleet_campaign.golden.txt" 2>&1
+if cmp -s bench/goldens/megafleet_campaign.golden.txt \
+          "$TMP/megafleet_campaign.golden.txt"; then
+    echo "OK       megafleet_campaign (golden replay)"
+else
+    echo "DIFF     megafleet_campaign (golden replay)"
+    diff bench/goldens/megafleet_campaign.golden.txt \
+         "$TMP/megafleet_campaign.golden.txt" | head -20 || true
     fail=1
 fi
 

@@ -48,3 +48,34 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 # otherwise). The shared-GPU and arbiter re-arbitration paths also run
 # under sanitizers here.
 "$BUILD_DIR/bench/fleet_campaign" --seeds=2 --out=-
+
+# Megafleet sharded smoke: run a small fleet campaign unsharded and as
+# two shards, merge the shard checkpoints, and require the merged
+# summary to be byte-identical to the unsharded one — the determinism
+# contract that makes 1M-session campaigns composable (see DESIGN.md
+# §5f). Each invocation also enforces the campaign acceptance bar
+# (zero errors / violations / unattributed drops, bounded RSS).
+MEGATMP="$(mktemp -d)"
+trap 'rm -rf "$MEGATMP"' EXIT
+MEGA="$BUILD_DIR/bench/megafleet_campaign"
+SMOKE_SESSIONS=600
+"$MEGA" --sessions="$SMOKE_SESSIONS" --out=- \
+    --checkpoint="$MEGATMP/unsharded.json" > /dev/null
+"$MEGA" --sessions="$SMOKE_SESSIONS" --shard=0/2 --out=- \
+    --checkpoint="$MEGATMP/shard0.json" > /dev/null
+"$MEGA" --sessions="$SMOKE_SESSIONS" --shard=1/2 --out=- \
+    --checkpoint="$MEGATMP/shard1.json" > /dev/null
+"$MEGA" --merge --checkpoint="$MEGATMP/merged.json" \
+    "$MEGATMP/shard0.json" "$MEGATMP/shard1.json" \
+    > "$MEGATMP/merged_summary.txt"
+"$MEGA" --merge "$MEGATMP/unsharded.json" \
+    > "$MEGATMP/unsharded_summary.txt"
+if ! cmp "$MEGATMP/merged.json" "$MEGATMP/unsharded.json"; then
+    echo "megafleet: merged shard checkpoint differs from unsharded" >&2
+    exit 1
+fi
+if ! cmp "$MEGATMP/merged_summary.txt" "$MEGATMP/unsharded_summary.txt"; then
+    echo "megafleet: merged shard summary differs from unsharded" >&2
+    exit 1
+fi
+echo "megafleet sharded smoke: 2-way merge byte-identical to unsharded"

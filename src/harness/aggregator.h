@@ -1,0 +1,177 @@
+/**
+ * @file
+ * CampaignAggregator: sharded, mergeable campaign accumulators.
+ *
+ * The streaming counterpart of "collect every RunReport in a vector":
+ * an aggregator consumes reports one at a time, folds each into the
+ * per-cohort accumulators of its cohort label, and drops it. State is a
+ * few KB per cohort regardless of campaign size, which is what lets one
+ * invocation cover a million sessions with bounded RSS.
+ *
+ * Everything the aggregator stores is an *integer*: event counts,
+ * histogram bins, and fixed-point sums of the per-session rates
+ * (milli-FDPS, microsecond latency, micro-joule energy). Integer
+ * addition is associative and commutative, so
+ *
+ *   - consuming reports in any delivery order,
+ *   - splitting a campaign into --shard K/N slices, and
+ *   - merging the shard checkpoints in any order
+ *
+ * all produce *bit-identical* aggregator state — and therefore
+ * byte-identical summary() and to_json() output — compared to the
+ * unsharded run. Derived floating-point figures (means, percentile
+ * surfaces) are computed from the merged integers at read time only.
+ * CI enforces the guarantee by byte-comparing a merged 2-way-sharded
+ * smoke against the unsharded run.
+ *
+ * Checkpoints are versioned JSON (kSchema); save/load round-trips the
+ * exact integer state, so a campaign can stop, resume (resume_pos is
+ * the in-order delivery watermark), and compose across invocations.
+ */
+
+#ifndef DVS_HARNESS_AGGREGATOR_H
+#define DVS_HARNESS_AGGREGATOR_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "harness/report_sink.h"
+#include "metrics/histogram.h"
+#include "metrics/run_report.h"
+#include "obs/drop_cause.h"
+
+namespace dvs {
+
+/**
+ * Per-cohort accumulators. All stored state is integral (see file
+ * comment); doubles appear only in the derived accessors.
+ */
+struct CohortStats {
+    std::uint64_t sessions = 0;
+    std::uint64_t errors = 0; ///< failed runs (RunReport::error set)
+
+    // ----- event counts (plain sums) -----------------------------------
+    std::uint64_t drops = 0;
+    std::uint64_t frames_due = 0;
+    std::uint64_t presents = 0;
+    std::uint64_t stutters = 0;
+    std::uint64_t deadline_misses = 0;
+    std::uint64_t invariant_violations = 0;
+    std::uint64_t faults_injected = 0;
+    std::uint64_t degradations = 0;
+    std::uint64_t repromotions = 0;
+    std::array<std::uint64_t, kDropCauseCount> drop_causes{};
+    std::uint64_t drops_injected = 0;
+
+    // ----- fixed-point sums of per-session rates -----------------------
+    std::int64_t fdps_milli_sum = 0;      ///< llround(fdps * 1e3)
+    std::int64_t latency_p95_us_sum = 0;  ///< llround(latency_p95_ms * 1e3)
+    std::int64_t energy_uj_sum = 0;       ///< llround(energy_mj * 1e3)
+
+    // ----- per-session distributions (percentile surfaces) -------------
+    Histogram fdps_hist{0.0, 16.0, 64};      ///< session FDPS
+    Histogram latency_hist{0.0, 120.0, 60};  ///< session p95 latency (ms)
+    Histogram drops_hist{0.0, 64.0, 64};     ///< session drop count
+
+    /** Fold one finished run in (error runs count sessions+errors only). */
+    void accumulate(const RunReport &r);
+
+    /** Fold another cohort's accumulators in (integer sums throughout). */
+    void merge(const CohortStats &other);
+
+    // ----- derived views -----------------------------------------------
+    double mean_fdps() const;
+    double mean_latency_p95_ms() const;
+    double mean_energy_mj() const;
+    /** Sessions that completed (entered the distributions). */
+    std::uint64_t completed() const { return sessions - errors; }
+};
+
+/**
+ * A ReportSink that reduces a campaign to per-cohort CohortStats, keyed
+ * by a caller-supplied cohort labeling of each report (default: the
+ * report's `label`). See the file comment for the merge/shard
+ * determinism contract.
+ */
+class CampaignAggregator final : public ReportSink
+{
+  public:
+    /** Checkpoint schema version written by to_json()/save(). */
+    static constexpr int kSchema = 1;
+
+    using CohortFn = std::function<std::string(const RunReport &)>;
+
+    /** @param cohort_of cohort label per report; null uses the label. */
+    explicit CampaignAggregator(CohortFn cohort_of = nullptr);
+
+    /** Sink entry: accumulate and advance the resume watermark. */
+    void consume(std::size_t index, RunReport &&report) override;
+
+    /** Accumulate a report without touching the watermark. */
+    void add(const RunReport &report);
+
+    /**
+     * Fold @p other in: cohorts merge by key, watermarks and totals
+     * sum. Merging N shard checkpoints (any order, any grouping) yields
+     * the exact state of the unsharded campaign.
+     */
+    void merge(const CampaignAggregator &other);
+
+    // ----- queries ------------------------------------------------------
+    std::uint64_t sessions() const { return sessions_; }
+    std::uint64_t errors() const { return errors_; }
+    std::uint64_t invariant_violations() const;
+    std::uint64_t unattributed_drops() const;
+
+    /**
+     * In-order delivery watermark: number of reports consumed via the
+     * sink interface (plus any restored by load()/merge()). A resumed
+     * shard skips this many positions of its session stream.
+     */
+    std::uint64_t resume_pos() const { return resume_pos_; }
+
+    /** Cohorts in key order (deterministic iteration). */
+    const std::map<std::string, CohortStats> &cohorts() const
+    {
+        return cohorts_;
+    }
+
+    // ----- serialization ------------------------------------------------
+
+    /**
+     * Deterministic human-readable roll-up: totals, per-cohort rows
+     * with mean/percentile surfaces, and the drop-cause tally. Shard
+     * composition is byte-stable: merged shards print exactly the
+     * unsharded text.
+     */
+    std::string summary() const;
+
+    /** Versioned JSON checkpoint of the full integer state. */
+    std::string to_json() const;
+
+    /** Write to_json() to @p path. @return false on I/O failure. */
+    bool save(const std::string &path) const;
+
+    /**
+     * Replace this aggregator's state with the checkpoint at @p path.
+     * @return false (with *error set when non-null) on unreadable
+     * files, malformed JSON, or a schema mismatch.
+     */
+    bool load(const std::string &path, std::string *error = nullptr);
+
+  private:
+    CohortStats &cohort(const std::string &key);
+
+    CohortFn cohort_of_;
+    std::map<std::string, CohortStats> cohorts_;
+    std::uint64_t sessions_ = 0;
+    std::uint64_t errors_ = 0;
+    std::uint64_t resume_pos_ = 0;
+};
+
+} // namespace dvs
+
+#endif // DVS_HARNESS_AGGREGATOR_H

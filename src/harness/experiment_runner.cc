@@ -1,8 +1,10 @@
 #include "harness/experiment_runner.h"
 
 #include <algorithm>
-#include <atomic>
+#include <condition_variable>
 #include <cstdlib>
+#include <map>
+#include <mutex>
 #include <thread>
 
 #include "sim/logging.h"
@@ -50,51 +52,196 @@ ExperimentRunner::run_task(const Task &task) const
     }
 }
 
-std::vector<RunReport>
-ExperimentRunner::run(const std::vector<Experiment> &points) const
+RunReport
+ExperimentRunner::run_task(const TaskSpec &task) const
 {
-    std::vector<Task> tasks;
-    tasks.reserve(points.size());
-    for (const Experiment &point : points)
-        tasks.push_back([this, &point] { return run_one(point); });
-    return run_tasks(tasks);
+    FatalThrowsScope recoverable(true);
+    try {
+        RunReport report = task.run();
+        if (!task.label.empty())
+            report.label = task.label;
+        return report;
+    } catch (const ConfigError &e) {
+        // The task died before (or while) labeling its own report: stamp
+        // the submission identity so the error slot is attributable,
+        // exactly as run() does for a rejected Experiment point.
+        RunReport failed;
+        failed.label = task.label;
+        failed.scenario = task.scenario;
+        failed.error = e.what();
+        return failed;
+    }
 }
 
-std::vector<RunReport>
-ExperimentRunner::run_tasks(const std::vector<Task> &tasks) const
+namespace {
+
+/**
+ * Reorder buffer between out-of-order worker completions and the
+ * in-order sink. Workers park finished reports here; whichever worker
+ * holds the lock flushes the contiguous prefix into the sink. A bounded
+ * window applies backpressure on the *claim* side: no worker starts
+ * point i until fewer than `window` submissions are undelivered, so
+ * peak retention is O(window) regardless of sweep size or task skew.
+ */
+class OrderedDelivery
+{
+  public:
+    OrderedDelivery(std::size_t count, std::size_t window, ReportSink &sink)
+        : count_(count), window_(std::max<std::size_t>(window, 1)),
+          sink_(sink)
+    {}
+
+    /** Claim the next index to run, or count() when exhausted. */
+    std::size_t claim()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        can_claim_.wait(
+            lock, [this] { return next_claim_ - next_deliver_ < window_; });
+        return next_claim_ < count_ ? next_claim_++ : count_;
+    }
+
+    /** Park a finished report; flush the ready prefix into the sink. */
+    void deliver(std::size_t index, RunReport &&report)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        pending_.emplace(index, std::move(report));
+        bool advanced = false;
+        for (auto it = pending_.find(next_deliver_); it != pending_.end();
+             it = pending_.find(next_deliver_)) {
+            // The sink runs under the lock: delivery is serial and
+            // in-order by construction, which is exactly the contract
+            // ReportSink documents.
+            sink_.consume(it->first, std::move(it->second));
+            pending_.erase(it);
+            ++next_deliver_;
+            advanced = true;
+        }
+        if (advanced)
+            can_claim_.notify_all();
+    }
+
+  private:
+    const std::size_t count_;
+    const std::size_t window_;
+    ReportSink &sink_;
+    std::mutex mu_;
+    std::condition_variable can_claim_;
+    std::size_t next_claim_ = 0;
+    std::size_t next_deliver_ = 0;
+    std::map<std::size_t, RunReport> pending_;
+};
+
+} // namespace
+
+void
+ExperimentRunner::run_tasks_stream(std::size_t count,
+                                   const TaskSource &source,
+                                   ReportSink &sink) const
 {
     // Hold fatal-throws for the whole batch: the per-task scopes then
     // save/restore `true`, so a worker finishing early cannot flip the
     // mode off under a sibling mid-run.
     FatalThrowsScope recoverable(true);
-    std::vector<RunReport> reports(tasks.size());
     const int workers =
-        int(std::min<std::size_t>(std::size_t(jobs_), tasks.size()));
+        int(std::min<std::size_t>(std::size_t(jobs_), count));
     if (workers <= 1) {
-        for (std::size_t i = 0; i < tasks.size(); ++i)
-            reports[i] = run_task(tasks[i]);
-        return reports;
+        for (std::size_t i = 0; i < count; ++i)
+            sink.consume(i, run_task(source(i)));
+        return;
     }
 
     // Dynamic self-scheduling: tasks vary wildly in cost (a 60 s game
     // trace vs. a 400 ms transition), so workers pull the next index
-    // instead of owning a static stripe. Each slot is written by exactly
-    // one worker, so the only synchronization needed is the counter and
-    // the joins.
-    std::atomic<std::size_t> next{0};
+    // instead of owning a static stripe. The window bounds how far the
+    // fastest worker may run ahead of the slowest undelivered slot.
+    OrderedDelivery delivery(count, std::size_t(workers) * 4, sink);
     std::vector<std::thread> pool;
     pool.reserve(std::size_t(workers));
     for (int w = 0; w < workers; ++w) {
         pool.emplace_back([&] {
-            for (std::size_t i = next.fetch_add(1); i < tasks.size();
-                 i = next.fetch_add(1)) {
-                reports[i] = run_task(tasks[i]);
+            for (std::size_t i = delivery.claim(); i < count;
+                 i = delivery.claim()) {
+                delivery.deliver(i, run_task(source(i)));
             }
         });
     }
     for (std::thread &t : pool)
         t.join();
+}
+
+void
+ExperimentRunner::run_tasks_stream(const std::vector<TaskSpec> &tasks,
+                                   ReportSink &sink) const
+{
+    run_tasks_stream(
+        tasks.size(),
+        [&tasks](std::size_t i) { return tasks[i]; }, sink);
+}
+
+void
+ExperimentRunner::run_stream(std::size_t count, const PointSource &source,
+                             ReportSink &sink) const
+{
+    run_tasks_stream(
+        count,
+        [this, &source](std::size_t i) {
+            Experiment point = source(i);
+            TaskSpec spec;
+            spec.label = point.label;
+            spec.scenario = point.scenario.name();
+            spec.run = [this, point = std::move(point)] {
+                return run_one(point);
+            };
+            return spec;
+        },
+        sink);
+}
+
+void
+ExperimentRunner::run_stream(const std::vector<Experiment> &points,
+                             ReportSink &sink) const
+{
+    run_tasks_stream(
+        points.size(),
+        [this, &points](std::size_t i) {
+            const Experiment &point = points[i];
+            TaskSpec spec;
+            spec.label = point.label;
+            spec.scenario = point.scenario.name();
+            spec.run = [this, &point] { return run_one(point); };
+            return spec;
+        },
+        sink);
+}
+
+std::vector<RunReport>
+ExperimentRunner::run(const std::vector<Experiment> &points) const
+{
+    VectorSink sink;
+    run_stream(points, sink);
+    std::vector<RunReport> reports = sink.take();
+    reports.resize(points.size());
     return reports;
+}
+
+std::vector<RunReport>
+ExperimentRunner::run_tasks(const std::vector<TaskSpec> &tasks) const
+{
+    VectorSink sink;
+    run_tasks_stream(tasks, sink);
+    std::vector<RunReport> reports = sink.take();
+    reports.resize(tasks.size());
+    return reports;
+}
+
+std::vector<RunReport>
+ExperimentRunner::run_tasks(const std::vector<Task> &tasks) const
+{
+    std::vector<TaskSpec> specs;
+    specs.reserve(tasks.size());
+    for (const Task &task : tasks)
+        specs.push_back(TaskSpec{task, "", ""});
+    return run_tasks(specs);
 }
 
 int

@@ -33,6 +33,58 @@ Histogram::add(double x)
     ++counts_[std::size_t(i)];
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.lo_ != lo_ || other.hi_ != hi_ ||
+        other.counts_.size() != counts_.size())
+        fatal("Histogram::merge needs identical (lo, hi, bins) layouts");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+}
+
+void
+Histogram::add_to_bin(int i, std::uint64_t count)
+{
+    if (i == kUnderflowBin)
+        underflow_ += count;
+    else if (i == kOverflowBin)
+        overflow_ += count;
+    else if (i >= 0 && i < bins())
+        counts_[std::size_t(i)] += count;
+    else
+        fatal("Histogram::add_to_bin: bin %d out of range", i);
+    total_ += count;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return 0.0;
+    // Integer threshold: ceil(p/100 * total) samples must be at or below
+    // the reported edge. Computed in integers so the answer depends only
+    // on bin counts, never on summation order.
+    const double target_f = p / 100.0 * double(total_);
+    std::uint64_t target = std::uint64_t(target_f);
+    if (double(target) < target_f)
+        ++target;
+    if (target == 0)
+        target = 1;
+    std::uint64_t cum = underflow_;
+    if (cum >= target)
+        return lo_;
+    for (int i = 0; i < bins(); ++i) {
+        cum += counts_[std::size_t(i)];
+        if (cum >= target)
+            return bin_edge(i) + width_;
+    }
+    return hi_;
+}
+
 double
 Histogram::bin_edge(int i) const
 {

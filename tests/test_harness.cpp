@@ -162,6 +162,103 @@ TEST(ExperimentRunner, BadSweepPointFailsItsSlotNotTheBatch)
     EXPECT_FALSE(fatal_throws());
 }
 
+TEST(StreamingRunner, RunStreamMatchesBatchAndDeliversInOrder)
+{
+    const std::vector<Experiment> points = mixed_sweep();
+    const std::vector<RunReport> batch = ExperimentRunner(1).run(points);
+
+    for (int jobs : {1, 4}) {
+        std::vector<std::size_t> order;
+        std::vector<RunReport> streamed;
+        CallbackSink sink([&](std::size_t index, RunReport &&r) {
+            order.push_back(index);
+            streamed.push_back(std::move(r));
+        });
+        ExperimentRunner(jobs).run_stream(points, sink);
+
+        ASSERT_EQ(streamed.size(), points.size()) << "jobs " << jobs;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            // Strictly increasing indices: exactly once, in order.
+            EXPECT_EQ(order[i], i) << "jobs " << jobs;
+            EXPECT_EQ(streamed[i], batch[i])
+                << "jobs " << jobs << " point " << i;
+        }
+    }
+}
+
+TEST(StreamingRunner, GeneratorSourceMatchesMaterializedPoints)
+{
+    const std::vector<Experiment> points = mixed_sweep();
+    VectorSink from_vector;
+    ExperimentRunner(3).run_stream(points, from_vector);
+
+    VectorSink from_source;
+    ExperimentRunner(3).run_stream(
+        points.size(), [&](std::size_t i) { return points[i]; },
+        from_source);
+
+    EXPECT_EQ(from_vector.take(), from_source.take());
+}
+
+TEST(StreamingRunner, VectorSinkMatchesRunReturnValue)
+{
+    const std::vector<Experiment> points = mixed_sweep();
+    VectorSink sink;
+    ExperimentRunner(2).run_stream(points, sink);
+    EXPECT_EQ(sink.take(), ExperimentRunner(2).run(points));
+}
+
+TEST(StreamingRunner, TaskSpecErrorSlotCarriesSubmissionLabel)
+{
+    // A task that dies before it could label its own report: the spec's
+    // label and scenario must still identify the error slot, exactly as
+    // run() does for Experiment points.
+    std::vector<ExperimentRunner::TaskSpec> tasks(2);
+    tasks[0].label = "ok";
+    tasks[0].scenario = "steady";
+    tasks[0].run = [] { return run_experiment({}, steady()); };
+    tasks[1].label = "doomed";
+    tasks[1].scenario = "imaginary";
+    tasks[1].run = []() -> RunReport {
+        fatal("boom before labeling");
+    };
+
+    for (int jobs : {1, 2}) {
+        VectorSink sink;
+        ExperimentRunner(jobs).run_tasks_stream(tasks, sink);
+        const std::vector<RunReport> reports = sink.take();
+        ASSERT_EQ(reports.size(), 2u);
+        EXPECT_TRUE(reports[0].error.empty()) << reports[0].error;
+        EXPECT_EQ(reports[0].label, "ok");
+        EXPECT_EQ(reports[1].label, "doomed");
+        EXPECT_EQ(reports[1].scenario, "imaginary");
+        EXPECT_NE(reports[1].error.find("boom"), std::string::npos)
+            << reports[1].error;
+    }
+    EXPECT_FALSE(fatal_throws());
+}
+
+TEST(StreamingRunner, StreamRetainsNothingBetweenDeliveries)
+{
+    // The sink owns each report exclusively; the runner must not hold
+    // copies. Observable contract: moving the report out is safe and
+    // each index arrives exactly once even at high parallelism.
+    std::vector<Experiment> points(16);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        points[i].scenario = steady();
+        points[i].label = "p" + std::to_string(i);
+    }
+    std::vector<std::string> labels;
+    CallbackSink sink([&](std::size_t, RunReport &&r) {
+        const RunReport local = std::move(r);
+        labels.push_back(local.label);
+    });
+    ExperimentRunner(8).run_stream(points, sink);
+    ASSERT_EQ(labels.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(labels[i], points[i].label);
+}
+
 TEST(RunReport, MatchesFrameStatsOfTheRun)
 {
     SystemConfig cfg;
