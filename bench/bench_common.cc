@@ -15,17 +15,6 @@ bench_runner()
     return runner;
 }
 
-int
-parse_jobs(int argc, char **argv)
-{
-    int flag = 0;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--jobs=", 7) == 0)
-            flag = std::atoi(argv[i] + 7);
-    }
-    return default_jobs(flag);
-}
-
 ArgParser::ArgParser(int argc, char **argv)
     : prog_(argc > 0 ? argv[0] : "bench")
 {

@@ -56,11 +56,8 @@ struct SwipeSetup {
     }
 };
 
-/** The shared bench runner; jobs from --jobs=N (see parse_jobs) / $DVS_JOBS. */
+/** The shared bench runner; jobs from $DVS_JOBS (see default_jobs). */
 const ExperimentRunner &bench_runner();
-
-/** Parse a --jobs=N argument; falls back to $DVS_JOBS, then all cores. */
-int parse_jobs(int argc, char **argv);
 
 /** A `--shard=K/N` slice: global session indices congruent to K mod N. */
 struct ShardSpec {

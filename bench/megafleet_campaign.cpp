@@ -16,7 +16,11 @@
  *                           [--seed=N] [--checkpoint=PATH] [--resume]
  *                           [--checkpoint-every=N] [--merge PATHS...]
  *                           [--out=PATH] [--rss-limit-mb=N] [--golden]
+ *                           [--sim-workers=N]
  *   --sessions=N     campaign size (default 1000000)
+ *   --sim-workers=N  parallel lane-dispatch workers inside each session
+ *                    (default 0 = serial; reports are byte-identical
+ *                    either way, so goldens never pass this flag)
  *   --shard=K/N      run only global session indices congruent to K
  *                    mod N; the aggregator checkpoints of all N shards
  *                    merge to the byte-exact unsharded state
@@ -110,6 +114,7 @@ main(int argc, char **argv)
     const std::string out_path = golden ? "-" : out_flag;
     const double rss_limit_mb = args.double_flag("rss-limit-mb", 1024.0);
     const int jobs = args.jobs();
+    const int sim_workers = args.int_flag("sim-workers", 0);
     const std::vector<std::string> merge_paths =
         merge ? args.positional(1024) : std::vector<std::string>{};
     args.finish();
@@ -120,6 +125,8 @@ main(int argc, char **argv)
         fatal("--sessions must be >= 1");
     if (resume && checkpoint_path.empty())
         fatal("--resume needs --checkpoint=PATH");
+    if (sim_workers < 0)
+        fatal("--sim-workers must be >= 0");
 
     const DevicePopulation fleet = DevicePopulation::paper_fleet(seed);
 
@@ -161,7 +168,7 @@ main(int argc, char **argv)
             const std::uint64_t global = shard.global(done + p);
             SessionSpec spec = fleet.session(global);
             Experiment point;
-            point.config = spec.config;
+            point.config = spec.config.with_sim_workers(sim_workers);
             point.scenario = std::move(spec.scenario);
             point.label = std::move(spec.label);
             return point;

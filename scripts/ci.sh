@@ -7,23 +7,44 @@
 #   scripts/ci.sh --sanitize  # ASan+UBSan build + tests (separate
 #                             # build dir; exercises the event-queue
 #                             # slot-recycling storage under sanitizers)
+#   scripts/ci.sh --tsan      # ThreadSanitizer build + the parallel
+#                             # lane-dispatch suite and a worker-enabled
+#                             # chaos smoke (separate build dir; guards
+#                             # the SimWorkerPool publish/claim protocol
+#                             # and the barrier handoff)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE=OFF
 for arg in "$@"; do
     case "$arg" in
-        --sanitize) SANITIZE=ON ;;
+        --sanitize) SANITIZE=address ;;
+        --tsan) SANITIZE=thread ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
 
-if [[ "$SANITIZE" == ON ]]; then
-    BUILD_DIR="${BUILD_DIR:-build-sanitize}"
-else
-    BUILD_DIR="${BUILD_DIR:-build}"
-fi
+case "$SANITIZE" in
+    address) BUILD_DIR="${BUILD_DIR:-build-sanitize}" ;;
+    thread)  BUILD_DIR="${BUILD_DIR:-build-tsan}" ;;
+    *)       BUILD_DIR="${BUILD_DIR:-build}" ;;
+esac
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if [[ "$SANITIZE" == thread ]]; then
+    # TSan's job here is the threaded simulation core, not the whole
+    # suite: build everything (compile coverage), then run the
+    # serial-vs-parallel equivalence tests plus a worker-enabled chaos
+    # smoke. The full suite under TSan would mostly re-run
+    # single-threaded code at 5-15x slowdown for no extra coverage.
+    cmake -B "$BUILD_DIR" -S . -DDVS_WERROR=ON -DDVS_SANITIZE=thread
+    cmake --build "$BUILD_DIR" -j"$JOBS"
+    (cd "$BUILD_DIR" \
+        && ctest --output-on-failure -j"$JOBS" -R 'ParallelSim')
+    "$BUILD_DIR/bench/chaos_campaign" --seeds=2 --sim-workers=4 --out=-
+    echo "tsan: parallel lane-dispatch suite + chaos smoke clean"
+    exit 0
+fi
 
 cmake -B "$BUILD_DIR" -S . -DDVS_WERROR=ON -DDVS_SANITIZE="$SANITIZE"
 cmake --build "$BUILD_DIR" -j"$JOBS"

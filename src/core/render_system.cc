@@ -47,6 +47,13 @@ RenderSystem::RenderSystem(const SystemConfig &config, Scenario scenario)
 
     producer_ = std::make_unique<Producer>(sim_, std::move(scenario),
                                            *queue_, *dist_);
+    // Single surface = one lane; degenerate under parallel dispatch but
+    // keeps the single- and multi-surface stacks on the same code path.
+    producer_->pin_lane(1);
+    sim_.set_sim_workers(config.sim_workers);
+    // Typical runs keep a few hundred events live; pre-sizing the heap
+    // and slot map keeps the hot loop out of the allocator.
+    sim_.events().reserve(256);
 
     if (config.mode == RenderMode::kDvsync) {
         DvsyncConfig dc;

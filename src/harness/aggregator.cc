@@ -208,6 +208,24 @@ CampaignAggregator::summary() const
                   "p95", "energy_mj");
     out += buf;
     for (const auto &[key, c] : cohorts_) {
+        if (c.completed() == 0) {
+            // No completed session means no metric surface at all (the
+            // histograms are empty and their percentiles are NaN). Say
+            // so instead of printing a row of zeros a reader could
+            // mistake for a perfectly smooth cohort.
+            std::snprintf(
+                buf, sizeof(buf),
+                "%-*s %9llu %5llu %9llu %10llu %8llu | fdps %6s %6s "
+                "%6s %6s | p95lat(ms) %7s %7s | %9s\n",
+                int(key_width), key.c_str(),
+                (unsigned long long)c.sessions,
+                (unsigned long long)c.errors, (unsigned long long)c.drops,
+                (unsigned long long)c.frames_due,
+                (unsigned long long)c.stutters, "n/a", "n/a", "n/a",
+                "n/a", "n/a", "n/a", "n/a");
+            out += buf;
+            continue;
+        }
         std::snprintf(
             buf, sizeof(buf),
             "%-*s %9llu %5llu %9llu %10llu %8llu | fdps %6.3f %6.2f "
@@ -331,6 +349,23 @@ CampaignAggregator::to_json() const
         append_histogram(out, "latency_hist", c.latency_hist);
         out += ", ";
         append_histogram(out, "drops_hist", c.drops_hist);
+        // Derived percentile surface for consumers that do not rebin the
+        // histograms. Explicit nulls for empty cohorts (JSON has no NaN);
+        // load() ignores the block — the histograms stay authoritative.
+        out += ", \"percentiles\": {";
+        if (c.completed() == 0) {
+            out += "\"fdps_p50\": null, \"fdps_p95\": null, "
+                   "\"fdps_p99\": null, \"latency_p95_ms\": null}";
+        } else {
+            std::snprintf(buf, sizeof(buf),
+                          "\"fdps_p50\": %.6g, \"fdps_p95\": %.6g, "
+                          "\"fdps_p99\": %.6g, \"latency_p95_ms\": %.6g}",
+                          c.fdps_hist.percentile(50),
+                          c.fdps_hist.percentile(95),
+                          c.fdps_hist.percentile(99),
+                          c.latency_hist.percentile(95));
+            out += buf;
+        }
         out += "}";
         out += ++i < cohorts_.size() ? ",\n" : "\n";
     }

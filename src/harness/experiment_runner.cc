@@ -1,6 +1,8 @@
 #include "harness/experiment_runner.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <climits>
 #include <condition_variable>
 #include <cstdlib>
 #include <map>
@@ -91,12 +93,19 @@ class OrderedDelivery
           sink_(sink)
     {}
 
-    /** Claim the next index to run, or count() when exhausted. */
+    /**
+     * Claim the next index to run, or count() when exhausted. After a
+     * sink failure every claim returns count() so workers drain out
+     * instead of blocking on a window that will never reopen.
+     */
     std::size_t claim()
     {
         std::unique_lock<std::mutex> lock(mu_);
-        can_claim_.wait(
-            lock, [this] { return next_claim_ - next_deliver_ < window_; });
+        can_claim_.wait(lock, [this] {
+            return stopped_ || next_claim_ - next_deliver_ < window_;
+        });
+        if (stopped_)
+            return count_;
         return next_claim_ < count_ ? next_claim_++ : count_;
     }
 
@@ -104,6 +113,8 @@ class OrderedDelivery
     void deliver(std::size_t index, RunReport &&report)
     {
         std::unique_lock<std::mutex> lock(mu_);
+        if (stopped_)
+            return; // the stream is dead; in-flight results are dropped
         pending_.emplace(index, std::move(report));
         bool advanced = false;
         for (auto it = pending_.find(next_deliver_); it != pending_.end();
@@ -111,13 +122,37 @@ class OrderedDelivery
             // The sink runs under the lock: delivery is serial and
             // in-order by construction, which is exactly the contract
             // ReportSink documents.
-            sink_.consume(it->first, std::move(it->second));
+            //
+            // A throwing consume() counts as delivered: its slot is
+            // retired before the exception is recorded, so a resumed
+            // stream never re-delivers the report the sink already saw
+            // (watermark sinks bumped their resume position first).
+            // Without the catch the exception would unwind a worker
+            // thread (std::terminate) and, were it swallowed instead,
+            // the unflushed slot would wedge claim() forever.
+            try {
+                sink_.consume(it->first, std::move(it->second));
+            } catch (...) {
+                pending_.erase(it);
+                ++next_deliver_;
+                failure_ = std::current_exception();
+                stopped_ = true;
+                can_claim_.notify_all();
+                return;
+            }
             pending_.erase(it);
             ++next_deliver_;
             advanced = true;
         }
         if (advanced)
             can_claim_.notify_all();
+    }
+
+    /** First sink exception, if delivery was aborted by one. */
+    std::exception_ptr failure()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        return failure_;
     }
 
   private:
@@ -128,6 +163,8 @@ class OrderedDelivery
     std::condition_variable can_claim_;
     std::size_t next_claim_ = 0;
     std::size_t next_deliver_ = 0;
+    bool stopped_ = false;
+    std::exception_ptr failure_;
     std::map<std::size_t, RunReport> pending_;
 };
 
@@ -167,6 +204,10 @@ ExperimentRunner::run_tasks_stream(std::size_t count,
     }
     for (std::thread &t : pool)
         t.join();
+    // A sink that threw aborted the stream; surface its exception to the
+    // caller after every worker has drained, same as the serial path.
+    if (std::exception_ptr failure = delivery.failure())
+        std::rethrow_exception(failure);
 }
 
 void
@@ -247,10 +288,24 @@ ExperimentRunner::run_tasks(const std::vector<Task> &tasks) const
 int
 default_jobs(int flag_value)
 {
+    if (flag_value < 0)
+        fatal("jobs count must be >= 0, got %d", flag_value);
     if (flag_value > 0)
         return flag_value;
-    if (const char *env = std::getenv("DVS_JOBS"))
-        return std::atoi(env);
+    if (const char *env = std::getenv("DVS_JOBS")) {
+        // Strict parse: std::atoi would silently turn "abc" into 0 (all
+        // cores) and accept negatives, so a typo'd DVS_JOBS changed the
+        // parallelism instead of failing the run.
+        errno = 0;
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || errno == ERANGE || v < 0 ||
+            v > INT_MAX) {
+            fatal("DVS_JOBS must be a non-negative integer, got \"%s\"",
+                  env);
+        }
+        return int(v);
+    }
     return 0;
 }
 

@@ -162,6 +162,8 @@ class ExperimentRunner
 /**
  * Jobs count for harness users: @p flag_value if positive (e.g. a parsed
  * --jobs=N flag), else $DVS_JOBS, else 0 (all hardware threads).
+ * Negative flag values and malformed or negative $DVS_JOBS are
+ * configuration errors (fatal(), so ConfigError under fatal-throws).
  */
 int default_jobs(int flag_value = 0);
 

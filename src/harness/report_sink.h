@@ -30,6 +30,12 @@ namespace dvs {
  * point, with strictly increasing @p index (submission order), and never
  * from two threads at once — sinks need no internal locking. The calling
  * thread is unspecified; sinks must not assume it is the submitter.
+ *
+ * A consume() that throws aborts the stream: the throwing index still
+ * counts as delivered (a watermark-keeping sink should bump its resume
+ * position before throwing), later indices are never delivered, and the
+ * runner rethrows the exception to its caller once every worker has
+ * drained. Workers never deadlock on the backpressure window.
  */
 class ReportSink
 {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 
 #include "sim/logging.h"
 
@@ -63,8 +64,11 @@ Histogram::add_to_bin(int i, std::uint64_t count)
 double
 Histogram::percentile(double p) const
 {
+    // NaN, not 0: an empty histogram has no percentile surface, and 0 is
+    // a legitimate sample value — reporting layers must render empties
+    // as "n/a" rather than as a cohort of zeros.
     if (total_ == 0)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     // Integer threshold: ceil(p/100 * total) samples must be at or below
     // the reported edge. Computed in integers so the answer depends only
     // on bin counts, never on summation order.

@@ -80,7 +80,9 @@ class Histogram
      * samples. Resolution is one bin width; underflow resolves to lo()
      * and a crossing beyond the last bin (overflow mass) to hi(). The
      * result depends only on the integer bin counts, so merged shards
-     * report bit-identical percentile surfaces. @return 0 when empty.
+     * report bit-identical percentile surfaces. @return NaN when empty
+     * (no samples means no percentile surface; 0 would be
+     * indistinguishable from an all-zero cohort).
      */
     double percentile(double p) const;
 

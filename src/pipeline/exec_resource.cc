@@ -30,6 +30,11 @@ ExecResource::run(Time duration, std::function<void()> on_done)
     busy_until_ = end;
     total_busy_ += duration;
     ++jobs_;
+    // The completion event belongs to this resource's lane regardless of
+    // which context submitted the work (a vsync delivery on the shared
+    // lane kicks a surface's UI stage; the completion still runs on the
+    // surface's lane).
+    LaneScope scope(lane_);
     sim_.events().schedule(
         end,
         [this, fn = std::move(on_done)] {

@@ -17,6 +17,9 @@ Producer::Producer(Simulator &sim, Scenario scenario, BufferQueue &queue,
     choreographer_.set_callback(
         [this](const SwVsync &sw) { handle_vsync_trigger(sw); });
     queue_.on_slot_free([this] { on_slot_free(); });
+    // FrameRecords are flat PODs indexed by frame id; pre-sizing keeps
+    // the begin_frame hot path out of the allocator for typical runs.
+    records_.reserve(512);
 }
 
 void
@@ -236,10 +239,9 @@ Producer::on_ui_done(std::uint64_t id)
     rec.ui_end = sim_.now();
 
     if (pacer_->align_render(rec)) {
-        dist_.request_callback(VsyncChannel::kRs,
-                               [this, id](const SwVsync &) {
-                                   enqueue_render(id);
-                               });
+        dist_.request_callback(
+            VsyncChannel::kRs,
+            [this, id](const SwVsync &) { enqueue_render(id); }, lane_);
     } else {
         enqueue_render(id);
     }

@@ -1,0 +1,177 @@
+#include "sim/worker_pool.h"
+
+namespace dvs {
+
+namespace {
+
+/// Spin iterations before a worker parks on the condition variable.
+/// Windows arrive every few microseconds of wall time in a hot
+/// simulation loop; parking between them would put a condvar wake
+/// (~5-15 us) on every barrier, so the spin is sized to outlast the
+/// serial replay phase between windows by a comfortable margin.
+constexpr int kSpinIters = 100'000;
+
+/// Spin budget when there are more workers than cores: busy-waiting
+/// then steals the timeslice of the thread being waited for, so park
+/// almost immediately and let the scheduler run whoever has work.
+constexpr int kOversubscribedSpinIters = 16;
+
+/// Polite busy-wait hint (PAUSE/YIELD); falls back to a plain loop.
+inline void
+cpu_relax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#endif
+}
+
+} // namespace
+
+SimWorkerPool::SimWorkerPool(int workers)
+{
+    const unsigned cores = std::thread::hardware_concurrency();
+    oversubscribed_ = cores != 0 && int(cores) < workers;
+    const int spawn = workers > 1 ? workers - 1 : 0;
+    threads_.reserve(std::size_t(spawn));
+    for (int i = 0; i < spawn; ++i)
+        threads_.emplace_back([this] { worker_loop(); });
+}
+
+SimWorkerPool::~SimWorkerPool()
+{
+    if (threads_.empty())
+        return;
+    {
+        // An empty batch: workers wake, find zero tasks, see shutdown.
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_.store(true, std::memory_order_relaxed);
+        task_fn_ = nullptr;
+        task_count_ = 0;
+        const std::uint64_t gen = generation_of(batch_.load()) + 1;
+        batch_.store(gen << 32, std::memory_order_release);
+        wake_.notify_all();
+    }
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+SimWorkerPool::run(int tasks, const std::function<void(int)> &fn)
+{
+    if (tasks <= 0)
+        return;
+    if (threads_.empty()) {
+        for (int i = 0; i < tasks; ++i)
+            fn(i);
+        return;
+    }
+    std::uint64_t gen;
+    {
+        // The mutex makes (fn, count, batch word) one consistent
+        // snapshot for workers; it is held for a handful of stores and
+        // is contended only when a worker is entering a batch at this
+        // exact moment, so back-to-back windows cost ~100ns here — the
+        // expensive condvar path below triggers only if someone parked.
+        std::lock_guard<std::mutex> lock(mu_);
+        task_fn_ = &fn;
+        task_count_ = tasks;
+        unfinished_.store(tasks, std::memory_order_relaxed);
+        gen = generation_of(batch_.load()) + 1;
+        batch_.store(gen << 32, std::memory_order_release);
+        if (parked_.load(std::memory_order_relaxed) > 0)
+            wake_.notify_all();
+    }
+
+    // The caller is a worker too. Tickets are claimed off the batch
+    // word; no publish can race these claims (the caller is the only
+    // publisher), so the generation of every ticket is `gen`.
+    for (;;) {
+        const std::uint64_t t =
+            batch_.fetch_add(1, std::memory_order_acq_rel);
+        if (int(index_of(t)) >= tasks)
+            break;
+        fn(int(index_of(t)));
+        unfinished_.fetch_sub(1, std::memory_order_release);
+    }
+    // Wait for stragglers; spin — the caller resumes simulation
+    // immediately after, so parking would only add wake latency. `fn`
+    // must stay alive until the last claimed task finishes, which is
+    // exactly what this wait guarantees. On an oversubscribed machine
+    // the straggler needs this core: yield instead of burning the
+    // timeslice it is waiting on.
+    while (unfinished_.load(std::memory_order_acquire) > 0) {
+        if (oversubscribed_)
+            std::this_thread::yield();
+        else
+            cpu_relax();
+    }
+}
+
+void
+SimWorkerPool::worker_loop()
+{
+    std::uint64_t seen = 0; // generation this worker has drained
+    for (;;) {
+        // Spin on the batch word (loads only — spinning must not inflate
+        // the ticket counter), then park.
+        const int spin_budget =
+            oversubscribed_ ? kOversubscribedSpinIters : kSpinIters;
+        int spins = 0;
+        while (generation_of(batch_.load(std::memory_order_acquire)) ==
+               seen) {
+            if (++spins < spin_budget) {
+                cpu_relax();
+                continue;
+            }
+            std::unique_lock<std::mutex> lock(mu_);
+            parked_.fetch_add(1, std::memory_order_relaxed);
+            wake_.wait(lock, [this, seen] {
+                return generation_of(batch_.load(
+                           std::memory_order_acquire)) != seen;
+            });
+            parked_.fetch_sub(1, std::memory_order_relaxed);
+            break;
+        }
+
+        // Claim tickets until the batch is drained. A ticket's
+        // generation names the batch its index belongs to; (gen, fn,
+        // tasks) snapshots are taken under the mutex — the publisher
+        // writes all three while holding it — so a ticket is only ever
+        // executed against the state of its own batch.
+        std::uint64_t gen = seen;
+        const std::function<void(int)> *fn = nullptr;
+        int tasks = 0;
+        for (;;) {
+            const std::uint64_t t =
+                batch_.fetch_add(1, std::memory_order_acq_rel);
+            if (generation_of(t) != gen) {
+                bool down;
+                {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    gen = generation_of(
+                        batch_.load(std::memory_order_relaxed));
+                    fn = task_fn_;
+                    tasks = task_count_;
+                    down = shutdown_.load(std::memory_order_relaxed);
+                }
+                if (down)
+                    return;
+                // A ticket older than the fresh snapshot comes from a
+                // drained batch (an undrained batch blocks the next
+                // publish), so its index is past that batch's count —
+                // discard it and claim again.
+                if (generation_of(t) != gen)
+                    continue;
+            }
+            if (!fn || int(index_of(t)) >= tasks)
+                break;
+            (*fn)(int(index_of(t)));
+            unfinished_.fetch_sub(1, std::memory_order_release);
+        }
+        seen = gen;
+    }
+}
+
+} // namespace dvs

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Persistent worker pool for parallel lane dispatch.
+ *
+ * Lane windows are short (tens of microseconds of callback work between
+ * refresh barriers), so the pool is built for low wake latency: workers
+ * spin on an atomic batch word before parking on a condition variable,
+ * and the calling thread participates in the work instead of blocking.
+ * `SimWorkerPool(n)` means *n total workers including the caller* —
+ * n == 1 spawns no threads and degenerates to sequential execution
+ * through the same code path.
+ *
+ * The dispatch word packs (generation << 32 | next-task-index) into one
+ * 64-bit atomic: claiming a task is a single fetch_add whose result
+ * identifies *both* the batch and the index, so a straggler that claims
+ * across a batch boundary re-snapshots the new batch's state instead of
+ * touching the stale one. Batch state (fn, count, word) is published
+ * under a briefly-held mutex for snapshot consistency; the condvar is
+ * only signalled when a worker actually parked — back-to-back windows
+ * stay on the spin path.
+ */
+
+#ifndef DVS_SIM_WORKER_POOL_H
+#define DVS_SIM_WORKER_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dvs {
+
+class SimWorkerPool
+{
+  public:
+    /** @param workers total workers including the calling thread (>= 1). */
+    explicit SimWorkerPool(int workers);
+    ~SimWorkerPool();
+
+    SimWorkerPool(const SimWorkerPool &) = delete;
+    SimWorkerPool &operator=(const SimWorkerPool &) = delete;
+
+    /** Total workers including the caller. */
+    int workers() const { return int(threads_.size()) + 1; }
+
+    /**
+     * Run fn(i) for every i in [0, tasks). Tasks are claimed atomically;
+     * the caller works too. Returns once every task has finished.
+     * fn must not throw (lane execution captures its own exceptions).
+     */
+    void run(int tasks, const std::function<void(int)> &fn);
+
+  private:
+    static std::uint64_t generation_of(std::uint64_t word)
+    {
+        return word >> 32;
+    }
+    static std::uint32_t index_of(std::uint64_t word)
+    {
+        return std::uint32_t(word);
+    }
+
+    void worker_loop();
+
+    std::vector<std::thread> threads_;
+    std::mutex mu_;
+    std::condition_variable wake_;
+
+    /** (generation << 32) | next task index. Claim = fetch_add(1). */
+    std::atomic<std::uint64_t> batch_{0};
+    std::atomic<int> unfinished_{0};
+    std::atomic<int> parked_{0};
+    std::atomic<bool> shutdown_{false};
+    bool oversubscribed_ = false;
+
+    // Guarded by mu_: published together with the batch word so worker
+    // snapshots of (generation, fn, count) are internally consistent.
+    const std::function<void(int)> *task_fn_ = nullptr;
+    int task_count_ = 0;
+};
+
+} // namespace dvs
+
+#endif // DVS_SIM_WORKER_POOL_H

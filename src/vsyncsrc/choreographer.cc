@@ -17,11 +17,14 @@ Choreographer::post_frame_callback()
     if (armed_)
         return; // coalesce
     armed_ = true;
-    dist_.request_callback(channel_, [this](const SwVsync &sw) {
-        armed_ = false;
-        ++delivered_;
-        callback_(sw);
-    });
+    dist_.request_callback(
+        channel_,
+        [this](const SwVsync &sw) {
+            armed_ = false;
+            ++delivered_;
+            callback_(sw);
+        },
+        lane_);
 }
 
 } // namespace dvs

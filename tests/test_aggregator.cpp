@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -299,4 +301,60 @@ TEST(DevicePopulationDeathTest, RejectsEmptyAndNonPositiveWeights)
         {"a", ProfileSpec{}, 1.0, 2, 500'000'000, 0.7}};
     EXPECT_EXIT(DevicePopulation(tiers, apps, 1),
                 testing::ExitedWithCode(1), "non-positive weight");
+}
+
+TEST(CampaignAggregator, EmptyCohortIsVisiblyDistinctFromAllZero)
+{
+    // An all-error cohort has no metric surface; a healthy cohort whose
+    // every sample happens to be zero has one (of zeros). The two must
+    // never render the same: the empty cohort says "n/a" in the summary
+    // table and nulls in the JSON percentile block.
+    RunReport failed;
+    failed.label = "empty";
+    failed.error = "boom";
+    RunReport zero;
+    zero.label = "zero";
+    zero.frames_due = 100;
+    zero.presents = 100; // fdps/latency/drops all exactly 0
+
+    CampaignAggregator agg;
+    agg.add(failed);
+    agg.add(failed);
+    agg.add(zero);
+
+    const CohortStats &empty = agg.cohorts().at("empty");
+    EXPECT_EQ(empty.completed(), 0u);
+    EXPECT_TRUE(std::isnan(empty.fdps_hist.percentile(50)));
+
+    const std::string table = agg.summary();
+    // Row-level check: the empty cohort's row says n/a, the zero
+    // cohort's row does not.
+    std::string empty_row, zero_row;
+    std::istringstream lines(table);
+    for (std::string line; std::getline(lines, line);) {
+        if (line.rfind("empty", 0) == 0)
+            empty_row = line;
+        if (line.rfind("zero", 0) == 0)
+            zero_row = line;
+    }
+    ASSERT_FALSE(empty_row.empty()) << table;
+    ASSERT_FALSE(zero_row.empty()) << table;
+    EXPECT_NE(empty_row.find("n/a"), std::string::npos) << empty_row;
+    EXPECT_EQ(zero_row.find("n/a"), std::string::npos) << zero_row;
+    EXPECT_NE(zero_row.find("0.00"), std::string::npos) << zero_row;
+
+    const std::string json = agg.to_json();
+    EXPECT_NE(json.find("\"fdps_p50\": null"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"fdps_p50\": 0"), std::string::npos) << json;
+
+    // The derived block is advisory: a checkpoint round-trip through
+    // load() reproduces it bit-for-bit from the histograms.
+    const std::string path = temp_path("empty_cohort");
+    ASSERT_TRUE(agg.save(path));
+    CampaignAggregator loaded;
+    std::string error;
+    ASSERT_TRUE(loaded.load(path, &error)) << error;
+    EXPECT_EQ(loaded.to_json(), json);
+    EXPECT_EQ(loaded.summary(), table);
+    std::remove(path.c_str());
 }

@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -394,4 +396,89 @@ TEST(SystemConfig, FluentSettersMatchMutation)
     // reports on the same scenario.
     EXPECT_EQ(run_experiment(mutated, steady()),
               run_experiment(fluent, steady()));
+}
+
+namespace {
+
+/** Sink that records deliveries and throws once it has seen enough. */
+class ThrowingSink final : public ReportSink
+{
+  public:
+    explicit ThrowingSink(std::size_t throw_at) : throw_at_(throw_at) {}
+
+    void consume(std::size_t index, RunReport &&report) override
+    {
+        delivered.push_back(index);
+        labels.push_back(report.label);
+        if (index == throw_at_)
+            throw std::runtime_error("sink full");
+    }
+
+    std::vector<std::size_t> delivered;
+    std::vector<std::string> labels;
+
+  private:
+    const std::size_t throw_at_;
+};
+
+} // namespace
+
+TEST(StreamingRunner, ThrowingSinkAbortsStreamWithoutDeadlock)
+{
+    // A consume() that throws mid-stream must neither unwind a worker
+    // thread (std::terminate) nor wedge the claim-side backpressure
+    // window: workers drain, the exception reaches the caller, and the
+    // delivered prefix is exactly [0, throw_at] — each index once, in
+    // order, nothing after the throw.
+    constexpr std::size_t kTasks = 64;
+    constexpr std::size_t kThrowAt = 3;
+    const auto source = [](std::size_t i) {
+        ExperimentRunner::TaskSpec spec;
+        spec.label = "t" + std::to_string(i);
+        spec.run = [i] {
+            RunReport r;
+            r.label = "t" + std::to_string(i);
+            return r;
+        };
+        return spec;
+    };
+
+    for (int jobs : {1, 4}) {
+        ThrowingSink sink(kThrowAt);
+        EXPECT_THROW(ExperimentRunner(jobs).run_tasks_stream(kTasks, source,
+                                                             sink),
+                     std::runtime_error)
+            << "jobs=" << jobs;
+        // The throwing index counts as delivered (the sink saw it); no
+        // re-delivery, no later indices.
+        ASSERT_EQ(sink.delivered.size(), kThrowAt + 1) << "jobs=" << jobs;
+        for (std::size_t i = 0; i <= kThrowAt; ++i) {
+            EXPECT_EQ(sink.delivered[i], i);
+            EXPECT_EQ(sink.labels[i], "t" + std::to_string(i));
+        }
+    }
+}
+
+TEST(ExperimentRunner, MalformedDvsJobsIsAConfigError)
+{
+    // std::atoi silently turned DVS_JOBS=abc into 0 (all cores) and let
+    // negatives through; a typo must fail the run instead of quietly
+    // changing its parallelism.
+    FatalThrowsScope recoverable(true);
+    ::setenv("DVS_JOBS", "abc", 1);
+    EXPECT_THROW(default_jobs(), ConfigError);
+    ::setenv("DVS_JOBS", "4x", 1);
+    EXPECT_THROW(default_jobs(), ConfigError);
+    ::setenv("DVS_JOBS", "-2", 1);
+    EXPECT_THROW(default_jobs(), ConfigError);
+    ::setenv("DVS_JOBS", "", 1);
+    EXPECT_THROW(default_jobs(), ConfigError);
+    ::setenv("DVS_JOBS", "6", 1);
+    EXPECT_EQ(default_jobs(), 6);
+    // An explicit flag wins over the environment; negative flags are
+    // configuration errors too.
+    EXPECT_EQ(default_jobs(3), 3);
+    EXPECT_THROW(default_jobs(-1), ConfigError);
+    ::unsetenv("DVS_JOBS");
+    EXPECT_EQ(default_jobs(), 0);
 }

@@ -310,8 +310,11 @@ TEST(HistogramPercentile, ReadsBinEdgesDeterministically)
     o.add(50.0);
     EXPECT_DOUBLE_EQ(o.percentile(99), 10.0);
 
+    // Empty histograms have no percentile surface: NaN, not 0, so an
+    // empty cohort can never masquerade as an all-zero one.
     Histogram empty(0.0, 10.0, 10);
-    EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
+    EXPECT_TRUE(std::isnan(empty.percentile(50)));
+    EXPECT_TRUE(std::isnan(empty.percentile(99)));
 }
 
 TEST(HistogramCheckpoint, AddToBinRestoresState)
