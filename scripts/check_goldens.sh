@@ -18,6 +18,7 @@ for golden in bench/goldens/*.txt; do
     case "$name" in
         perf_sim_core.checksums) continue ;;
         chaos_campaign.golden) continue ;;
+        governor_campaign.golden) continue ;;
         fleet_campaign.golden) continue ;;
         dvsync_inspect.golden) continue ;;
         megafleet_campaign.golden) continue ;;
@@ -84,6 +85,24 @@ else
     echo "DIFF     dvsync_inspect (forensics summary)"
     diff bench/goldens/dvsync_inspect.golden.txt \
          "$TMP/dvsync_inspect.golden.txt" | head -20 || true
+    fail=1
+fi
+
+# governor_campaign: the bare binary runs the full multi-seed sweep, so
+# the golden pins the deterministic --golden replay (seed-1 reports for
+# every tier/envelope/policy cell plus the frontier table). The replay
+# also enforces the campaign acceptance bar — zero violations, every
+# drop attributed, governor winning a constrained envelope — so a
+# nonzero exit fails the check even if the text matches.
+if "$BENCH_DIR/governor_campaign" --golden --jobs=1 2>/dev/null \
+    > "$TMP/governor_campaign.golden.txt" \
+    && cmp -s bench/goldens/governor_campaign.golden.txt \
+              "$TMP/governor_campaign.golden.txt"; then
+    echo "OK       governor_campaign (golden replay)"
+else
+    echo "DIFF     governor_campaign (golden replay)"
+    diff bench/goldens/governor_campaign.golden.txt \
+         "$TMP/governor_campaign.golden.txt" | head -20 || true
     fail=1
 fi
 

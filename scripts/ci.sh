@@ -42,7 +42,10 @@ if [[ "$SANITIZE" == thread ]]; then
     (cd "$BUILD_DIR" \
         && ctest --output-on-failure -j"$JOBS" -R 'ParallelSim')
     "$BUILD_DIR/bench/chaos_campaign" --seeds=2 --sim-workers=4 --out=-
-    echo "tsan: parallel lane-dispatch suite + chaos smoke clean"
+    # The governor ticks on the shared lane (window barriers), so a
+    # worker-enabled sweep exercises the control loop under TSan too.
+    "$BUILD_DIR/bench/governor_campaign" --seeds=1 --sim-workers=4 --out=-
+    echo "tsan: parallel lane-dispatch suite + chaos/governor smokes clean"
     exit 0
 fi
 
@@ -62,6 +65,13 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 # unreadable dump or an unknown-cause drop). Also under sanitizers: the
 # dump/parse/inspect path is fresh C++ with manual JSON plumbing.
 "$BUILD_DIR/bench/dvsync_inspect" "$BUILD_DIR/chaos_forensics.json" --top=3
+
+# Governor smoke: the thermal-envelope sweep must finish with zero
+# violations, every drop attributed, and the closed-loop governor
+# beating every static config on energy-per-stutter-avoided in a
+# constrained envelope (nonzero exit otherwise). The thermal plant,
+# DVFS ladder, and control-loop paths also run under sanitizers here.
+"$BUILD_DIR/bench/governor_campaign" --seeds=2 --out=-
 
 # Fleet smoke: a small multi-surface sweep must finish with zero
 # violations, zero failed runs, and the weighted arbiter strictly

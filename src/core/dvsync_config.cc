@@ -21,6 +21,8 @@ DvsyncConfig::normalized() const
     c.watchdog_desync_periods = std::max(1.0, c.watchdog_desync_periods);
     c.watchdog_desync_streak = std::max(1, c.watchdog_desync_streak);
     c.watchdog_stable_presents = std::max(1, c.watchdog_stable_presents);
+    c.watchdog_backoff_window = std::max<Time>(0, c.watchdog_backoff_window);
+    c.watchdog_backoff_cap = std::max(1, c.watchdog_backoff_cap);
     return c;
 }
 

@@ -77,6 +77,18 @@ struct DvsyncConfig {
      */
     int watchdog_stable_presents = 32;
 
+    /**
+     * Exponential re-promotion backoff: a degradation landing within
+     * this window of the previous one doubles the stable-streak
+     * requirement (up to watchdog_backoff_cap ×), so a marginal
+     * pipeline cannot ping-pong degrade/re-promote forever. A
+     * degradation outside the window resets the multiplier to 1.
+     */
+    Time watchdog_backoff_window = 2'000'000'000; // 2 s
+
+    /** Cap on the backoff multiplier. */
+    int watchdog_backoff_cap = 8;
+
     /** Validate and return a normalized copy. */
     DvsyncConfig normalized() const;
 };

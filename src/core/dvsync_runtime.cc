@@ -1,5 +1,6 @@
 #include "core/dvsync_runtime.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/frame_pre_executor.h"
@@ -162,7 +163,7 @@ DvsyncRuntime::on_watchdog_present(const PresentEvent &ev)
         stable = false;
     }
     stable_streak_ = stable ? stable_streak_ + 1 : 0;
-    if (stable_streak_ >= config_.watchdog_stable_presents)
+    if (stable_streak_ >= wd_required_streak_)
         repromote(ev.present_time);
 }
 
@@ -180,14 +181,35 @@ DvsyncRuntime::degrade(Time now, const char *reason,
     degraded_ = true;
     ++degradations_;
     enabled_ = false; // FPE falls back to conventional VSync pacing
+    // Exponential re-promotion backoff: a degradation soon after the
+    // last one means the previous re-promotion was premature — the next
+    // stable streak must be twice as long (capped). A degradation after
+    // a long healthy stretch starts fresh.
+    if (wd_last_degrade_ != kTimeNone &&
+        now - wd_last_degrade_ <= config_.watchdog_backoff_window) {
+        wd_backoff_mult_ =
+            std::min(wd_backoff_mult_ * 2, config_.watchdog_backoff_cap);
+    } else {
+        wd_backoff_mult_ = 1;
+    }
+    wd_last_degrade_ = now;
+    wd_required_streak_ = config_.watchdog_stable_presents * wd_backoff_mult_;
     // The promise chain refers to a timeline segment that no longer
     // matches reality; drop it so re-promotion re-anchors cleanly.
     dtv_->resync();
     desync_streak_ = 0;
     stable_streak_ = 0;
     streak_violation_base_ = monitor_ ? monitor_->violations() : 0;
-    record_transition("t=" + std::to_string(now) + " degrade [" + reason +
-                      "] " + detail + " -> VSync pacing, DTV resync");
+    std::string line = "t=" + std::to_string(now) + " degrade [" + reason +
+                       "] " + detail + " -> VSync pacing, DTV resync";
+    // Make the backoff timeline-visible, but keep the text byte-identical
+    // to the pre-backoff format when no backoff is in force.
+    if (wd_backoff_mult_ > 1) {
+        line += " (backoff x" + std::to_string(wd_backoff_mult_) + ": " +
+                std::to_string(wd_required_streak_) +
+                " stable presents to re-promote)";
+    }
+    record_transition(std::move(line));
 }
 
 void
@@ -198,7 +220,7 @@ DvsyncRuntime::repromote(Time now)
     enabled_ = true;
     stable_streak_ = 0;
     record_transition("t=" + std::to_string(now) + " repromote after " +
-                      std::to_string(config_.watchdog_stable_presents) +
+                      std::to_string(wd_required_streak_) +
                       " stable presents -> D-VSync");
 }
 

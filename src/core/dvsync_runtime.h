@@ -90,6 +90,14 @@ class DvsyncRuntime
     std::uint64_t repromotions() const { return repromotions_; }
 
     /**
+     * Current re-promotion backoff multiplier (1 = no backoff). Each
+     * degradation within watchdog_backoff_window of the previous one
+     * doubles it up to watchdog_backoff_cap, lengthening the stable
+     * streak the next re-promotion must earn.
+     */
+    int backoff_multiplier() const { return wd_backoff_mult_; }
+
+    /**
      * Human-readable degrade/re-promote transition log ("t=<ns> ..."),
      * surfaced as RunReport::timeline. Capped at kMaxTransitions.
      */
@@ -161,6 +169,9 @@ class DvsyncRuntime
     Time wd_last_present_ = kTimeNone;
     int desync_streak_ = 0;
     int stable_streak_ = 0;
+    int wd_backoff_mult_ = 1;
+    int wd_required_streak_ = 0; ///< set on each degrade()
+    Time wd_last_degrade_ = kTimeNone;
     std::uint64_t streak_violation_base_ = 0;
     std::vector<std::string> transitions_;
 };

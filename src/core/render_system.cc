@@ -1,11 +1,25 @@
 #include "core/render_system.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <iterator>
 
 #include "metrics/stutter_model.h"
 #include "sim/logging.h"
 
 namespace dvs {
+
+namespace {
+
+/** Nanosecond timestamp of a "t=<ns> ..." timeline line. */
+long long
+timeline_ts(const std::string &line)
+{
+    return std::atoll(line.c_str() + 2);
+}
+
+} // namespace
 
 const char *
 to_string(RenderMode m)
@@ -78,6 +92,46 @@ RenderSystem::RenderSystem(const SystemConfig &config, Scenario scenario)
         producer_->set_pacer(vsync_pacer_.get());
     }
 
+    if (config.governor.enabled && !config.thermal.enabled)
+        fatal("the governor needs the thermal plant (its primary sensor); "
+              "enable config.thermal");
+    if (config.thermal.enabled) {
+        const ThermalParams tp =
+            config.thermal.params
+                ? *config.thermal.params
+                : thermal_params_for(config.device.thermal_budget_mw,
+                                     config.device.thermal_headroom_c,
+                                     config.thermal.envelope_scale);
+        plant_ = std::make_unique<ThermalPlant>(tp);
+        ExecResource &gpu = producer_->gpu();
+        // Registered before the fault injector's transforms, so an
+        // injected throttle multiplies the DVFS-scaled duration.
+        gpu.add_cost_transform([this](Time, Time duration) {
+            return plant_->scale_duration(duration);
+        });
+        gpu.add_usage_listener([this](Time start, Time end) {
+            plant_->on_busy(start, end);
+        });
+        // Frame-coherence factor (Anglada-style dynamic sampling): a
+        // deterministic animation's follow-up frames re-render mostly
+        // coherent content at a fraction of the nominal GPU cost;
+        // interactions are partially coherent; real-time content is
+        // always new. Depends only on the record, so it is identical at
+        // any worker count.
+        producer_->set_gpu_cost_shaper(
+            [this](const FrameRecord &rec, Time nominal) {
+                const double lo = plant_->params().coherent_scale;
+                double scale = 1.0;
+                if (rec.slot > 0) {
+                    if (rec.kind == SegmentKind::kAnimation)
+                        scale = lo;
+                    else if (rec.kind == SegmentKind::kInteraction)
+                        scale = (lo + 1.0) / 2.0;
+                }
+                return Time(double(nominal) * scale);
+            });
+    }
+
     stats_ = std::make_unique<FrameStats>(*producer_, *panel_);
 
     // The classifier reads the RefreshLog FrameStats appends, so it must
@@ -92,6 +146,14 @@ RenderSystem::RenderSystem(const SystemConfig &config, Scenario scenario)
     cc.plan = config.faults.get();
     cc.gpu = &producer_->gpu();
     cc.shared_gpu = false;
+    cc.plant = plant_.get();
+    if (config.governor.enabled) {
+        // governor_ is constructed below; the classifier only calls the
+        // closure during the run, when it exists.
+        cc.governor_capped = [this] {
+            return governor_ && governor_->capping();
+        };
+    }
     classifier_ = std::make_unique<DropClassifier>(cc, *panel_);
 
     if (config.monitor_invariants) {
@@ -109,11 +171,13 @@ RenderSystem::RenderSystem(const SystemConfig &config, Scenario scenario)
         injector_->arm(*hw_, *queue_, *compositor_, *producer_);
     }
     // Chaos runs always get the safety net; outside them it is opt-in so
-    // fault-free goldens keep their exact behavior.
-    if (runtime_ && (config.watchdog || config.faults))
+    // fault-free goldens keep their exact behavior. The governor's final
+    // rung hands off to the watchdog, so enabling it arms the watchdog.
+    if (runtime_ &&
+        (config.watchdog || config.faults || config.governor.enabled))
         runtime_->attach_watchdog(*panel_, monitor_.get());
 
-    if (config.forensics) {
+    if (config.forensics || config.governor.enabled) {
         metrics_ = std::make_unique<MetricsRegistry>();
         metrics_->register_gauge("queue.depth", [this] {
             return double(queue_->queued_count());
@@ -152,15 +216,70 @@ RenderSystem::RenderSystem(const SystemConfig &config, Scenario scenario)
                 return double(fpe_->pre_rendered_frames());
             });
         }
+        if (plant_) {
+            metrics_->register_gauge("thermal.temp_c", [this] {
+                return plant_->temperature_at(sim_.now());
+            });
+            metrics_->register_gauge("thermal.level", [this] {
+                return double(plant_->level());
+            });
+            metrics_->register_counter("thermal.trips", [this] {
+                return double(plant_->throttle_trips());
+            });
+            metrics_->register_counter("power.gpu_mj", [this] {
+                return plant_->gpu_energy_mj();
+            });
+        }
         // Default cadence: 16 refresh periods. Dense per-period sampling
         // is available via with_metrics_interval(device.period()), but
         // idle-heavy runs would then pay for a tick per refresh — the
         // sparse default keeps the measured overhead within the 5%
-        // budget perf_sim_core enforces.
-        const Time interval = config.metrics_interval > 0
-                                  ? config.metrics_interval
-                                  : config.device.period() * 16;
-        metrics_->install(sim_, interval);
+        // budget perf_sim_core enforces. Series sampling stays a
+        // forensics feature: a governor-only registry is a passive
+        // sensor bus, polled on the governor's cadence instead.
+        if (config.forensics) {
+            const Time interval = config.metrics_interval > 0
+                                      ? config.metrics_interval
+                                      : config.device.period() * 16;
+            metrics_->install(sim_, interval);
+        }
+    }
+
+    if (config.governor.enabled) {
+        GovernorHooks hooks;
+        if (fpe_) {
+            const int nominal = fpe_->prerender_limit();
+            hooks.trim_prerender = [this, nominal](bool on) {
+                runtime_->set_prerender_limit(on ? 1 : nominal);
+            };
+        }
+        if (!config.device.ltpo_rates.empty()) {
+            const double lowest = config.device.ltpo_rates.back();
+            const double native = config.device.refresh_hz;
+            hooks.ltpo_cap = [this, lowest, native](bool on) {
+                hw_->request_rate(on ? lowest : native);
+            };
+        }
+        if (plant_ && plant_->level_count() > 1) {
+            const int floor = std::min(2, plant_->level_count() - 1);
+            hooks.dvfs_cap = [this, floor](bool on) {
+                plant_->set_governor_floor(on ? floor : 0);
+            };
+        }
+        if (runtime_) {
+            hooks.handoff = [this](Time now) {
+                runtime_->force_degrade(now, "governor handoff");
+            };
+            hooks.handoff_cleared = [this] {
+                return !runtime_->degraded();
+            };
+        }
+        governor_ = std::make_unique<Governor>(config.governor,
+                                               std::move(hooks));
+        const Time interval = config.governor.control_interval > 0
+                                  ? config.governor.control_interval
+                                  : config.device.period() * 4;
+        governor_->install(sim_, *metrics_, interval);
     }
 }
 
@@ -240,6 +359,31 @@ RenderSystem::report() const
     }
     if (dtv_)
         r.dtv_resyncs = dtv_->resyncs();
+    if (plant_) {
+        r.thermal_on = true;
+        r.peak_temp_c = plant_->peak_temp_c();
+        r.final_temp_c = plant_->temperature_c();
+        r.thermal_trips = plant_->throttle_trips();
+        r.dvfs_level_end = plant_->level();
+        r.gpu_energy_mj = plant_->gpu_energy_mj();
+    }
+    if (governor_) {
+        r.governor_demotions = governor_->demotions();
+        r.governor_promotions = governor_->promotions();
+        r.governor_rung_end = governor_->rung();
+        // Merge governor transitions into the watchdog timeline in time
+        // order (both inputs are already sorted; ties keep the watchdog
+        // line first).
+        const std::vector<std::string> &gov = governor_->transitions();
+        std::vector<std::string> merged;
+        merged.reserve(r.timeline.size() + gov.size());
+        std::merge(r.timeline.begin(), r.timeline.end(), gov.begin(),
+                   gov.end(), std::back_inserter(merged),
+                   [](const std::string &a, const std::string &b) {
+                       return timeline_ts(a) < timeline_ts(b);
+                   });
+        r.timeline = std::move(merged);
+    }
 
     r.drop_causes = classifier_->counts();
     r.drops_injected = classifier_->injected_drops();
@@ -266,6 +410,8 @@ RenderSystem::activity() const
     a.predictor_overhead = config_.predictor_overhead;
     if (runtime_)
         a.predicted_frames = runtime_->ipl().predictions();
+    if (plant_)
+        a.gpu_mj = plant_->gpu_energy_mj();
     return a;
 }
 

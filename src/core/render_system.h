@@ -13,8 +13,10 @@
 #define DVS_CORE_RENDER_SYSTEM_H
 
 #include <memory>
+#include <optional>
 
 #include "buffer/buffer_queue.h"
+#include "governor/governor.h"
 #include "core/display_time_virtualizer.h"
 #include "core/dvsync_config.h"
 #include "core/dvsync_runtime.h"
@@ -49,6 +51,25 @@ enum class RenderMode {
 };
 
 const char *to_string(RenderMode m);
+
+/**
+ * Thermal/DVFS plant configuration. Off by default — the GPU then runs
+ * at a fixed nominal clock with zero plant-accounted energy, exactly the
+ * pre-plant behavior (goldens stay byte-identical).
+ */
+struct ThermalSpec {
+    bool enabled = false;
+
+    /**
+     * Envelope scale applied to the device's §6 thermal budget; < 1
+     * models a constrained chassis (thin phone, hot day) where the same
+     * workload trips the throttle earlier.
+     */
+    double envelope_scale = 1.0;
+
+    /** Explicit plant parameters; unset derives them from the device. */
+    std::optional<ThermalParams> params;
+};
 
 /** Full configuration of a simulated run. */
 struct SystemConfig {
@@ -115,6 +136,19 @@ struct SystemConfig {
      * low-overhead default — pass device.period() for dense series).
      */
     Time metrics_interval = 0;
+
+    /**
+     * Thermal/DVFS plant on the device GPU (closed-loop thermal work).
+     */
+    ThermalSpec thermal;
+
+    /**
+     * Closed-loop governor walking the graded degradation ladder.
+     * Requires thermal.enabled (the plant is its primary sensor); arms
+     * the watchdog automatically (the ladder's final rung hands off to
+     * it).
+     */
+    GovernorConfig governor;
 
     /**
      * Parallel lane-dispatch worker count for the simulation core.
@@ -223,6 +257,23 @@ struct SystemConfig {
         sim_workers = n;
         return *this;
     }
+    SystemConfig &with_thermal(ThermalSpec t)
+    {
+        thermal = std::move(t);
+        return *this;
+    }
+    /** Enable the plant with the device envelope at @p envelope_scale. */
+    SystemConfig &with_thermal_envelope(double envelope_scale)
+    {
+        thermal.enabled = true;
+        thermal.envelope_scale = envelope_scale;
+        return *this;
+    }
+    SystemConfig &with_governor(const GovernorConfig &g)
+    {
+        governor = g;
+        return *this;
+    }
 };
 
 /**
@@ -280,9 +331,17 @@ class RenderSystem
     /** Drop root-cause classifier (always on; costs only per drop). */
     const DropClassifier &classifier() const { return *classifier_; }
 
-    /** Metrics registry; null unless config.forensics is on. */
+    /** Metrics registry; null unless forensics or the governor is on. */
     MetricsRegistry *metrics() { return metrics_.get(); }
     const MetricsRegistry *metrics() const { return metrics_.get(); }
+
+    /** Thermal/DVFS plant; null unless config.thermal.enabled. */
+    ThermalPlant *plant() { return plant_.get(); }
+    const ThermalPlant *plant() const { return plant_.get(); }
+
+    /** Governor; null unless config.governor.enabled. */
+    Governor *governor() { return governor_.get(); }
+    const Governor *governor() const { return governor_.get(); }
 
     /** Activity summary for the power model. */
     RunActivity activity() const;
@@ -332,6 +391,8 @@ class RenderSystem
     std::unique_ptr<InvariantMonitor> monitor_;
     std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<MetricsRegistry> metrics_;
+    std::unique_ptr<ThermalPlant> plant_;
+    std::unique_ptr<Governor> governor_;
     bool ran_ = false;
 };
 

@@ -19,6 +19,8 @@ pixel5()
     d.height = 2340;
     d.refresh_hz = 60.0;
     d.vsync_buffers = 3; // Android triple buffering
+    d.thermal_budget_mw = 2600.0; // small chassis, modest SoC
+    d.thermal_headroom_c = 19.0;
     return d;
 }
 
@@ -34,6 +36,8 @@ mate40_pro()
     d.refresh_hz = 90.0;
     d.vsync_buffers = 4; // OpenHarmony render service default
     d.ltpo_rates = {90.0, 60.0};
+    d.thermal_budget_mw = 3000.0;
+    d.thermal_headroom_c = 20.0;
     return d;
 }
 
@@ -49,6 +53,8 @@ mate60_pro(Backend backend)
     d.refresh_hz = 120.0;
     d.vsync_buffers = 4;
     d.ltpo_rates = {120.0, 90.0, 60.0, 30.0};
+    d.thermal_budget_mw = 3400.0; // vapor chamber: more sustained budget
+    d.thermal_headroom_c = 21.0;
     return d;
 }
 

@@ -31,6 +31,14 @@ struct DeviceConfig {
     /** Supported LTPO rates, descending (empty: fixed-rate panel). */
     std::vector<double> ltpo_rates;
 
+    // ----- §6 thermal envelope ------------------------------------------
+    // Sustained chassis dissipation budget and the die headroom above
+    // ambient before throttling; thermal_params_for() turns these into
+    // the RC plant of the closed-loop governor work.
+
+    double thermal_budget_mw = 3000.0; ///< sustained GPU budget
+    double thermal_headroom_c = 20.0;  ///< throttle point above ambient
+
     /** Refresh period. */
     Time period() const { return period_from_hz(refresh_hz); }
 

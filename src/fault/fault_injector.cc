@@ -54,9 +54,9 @@ FaultInjector::arm(HwVsyncGenerator &hw, BufferQueue &queue,
         ++counts_[std::size_t(FaultKind::kThermalThrottle)];
         return Time(double(duration) * mag);
     };
-    producer.ui_thread().set_cost_transform(throttle);
-    producer.render_thread().set_cost_transform(throttle);
-    producer.gpu().set_cost_transform(
+    producer.ui_thread().add_cost_transform(throttle);
+    producer.render_thread().add_cost_transform(throttle);
+    producer.gpu().add_cost_transform(
         [this, plan, throttle](Time now, Time duration) {
             duration = throttle(now, duration);
             const double hang =

@@ -1,5 +1,6 @@
 #include "metrics/run_report.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace dvs {
@@ -44,6 +45,17 @@ RunReport::averaged(const std::vector<RunReport> &runs)
             avg.drop_causes[c] += r.drop_causes[c];
         avg.drops_injected += r.drops_injected;
         avg.rearbitrations += r.rearbitrations;
+        avg.thermal_on = avg.thermal_on || r.thermal_on;
+        avg.peak_temp_c += r.peak_temp_c;
+        avg.final_temp_c += r.final_temp_c;
+        avg.thermal_trips += r.thermal_trips;
+        avg.dvfs_level_end = std::max(avg.dvfs_level_end, r.dvfs_level_end);
+        avg.activity.gpu_mj += r.activity.gpu_mj;
+        avg.gpu_energy_mj += r.gpu_energy_mj;
+        avg.governor_demotions += r.governor_demotions;
+        avg.governor_promotions += r.governor_promotions;
+        avg.governor_rung_end =
+            std::max(avg.governor_rung_end, r.governor_rung_end);
         // timeline, error, and the per-surface slices stay the front
         // run's: transition logs are per-run narratives, and surface
         // slices describe one session's allocation outcome.
@@ -60,6 +72,9 @@ RunReport::averaged(const std::vector<RunReport> &runs)
     avg.latency_max_ms /= n;
     avg.energy_mj /= n;
     avg.pipeline_busy_s /= n;
+    avg.peak_temp_c /= n;
+    avg.final_temp_c /= n;
+    avg.gpu_energy_mj /= n;
     return avg;
 }
 
@@ -104,8 +119,13 @@ RunReport::debug_string() const
     const auto causes_of =
         [&buf](const std::array<std::uint64_t, kDropCauseCount> &causes,
                std::uint64_t injected) {
+            // Legacy causes print unconditionally; causes added later
+            // (thermal/governor) only when nonzero, so runs that cannot
+            // produce them stay byte-identical to pre-existing goldens.
             std::string s = " causes=[";
             for (int c = 0; c < kDropCauseCount; ++c) {
+                if (c >= kDropCauseLegacyCount && causes[c] == 0)
+                    continue;
                 std::snprintf(buf, 64, "%s%s=%llu", c ? " " : "",
                               to_string(DropCause(c)),
                               (unsigned long long)causes[c]);
@@ -117,6 +137,18 @@ RunReport::debug_string() const
             return s;
         };
     out += causes_of(drop_causes, drops_injected);
+    if (thermal_on) {
+        std::snprintf(
+            buf, sizeof(buf),
+            " thermal=[peak_c=%.17g final_c=%.17g trips=%llu "
+            "dvfs_end=%d gpu_mj=%.17g] governor=[demotions=%llu "
+            "promotions=%llu rung_end=%d]",
+            peak_temp_c, final_temp_c, (unsigned long long)thermal_trips,
+            dvfs_level_end, gpu_energy_mj,
+            (unsigned long long)governor_demotions,
+            (unsigned long long)governor_promotions, governor_rung_end);
+        out += buf;
+    }
     if (!surfaces.empty()) {
         std::snprintf(buf, sizeof(buf),
                       " budget_mb=%.17g used_mb=%.17g rearb=%llu",

@@ -133,7 +133,27 @@ struct RunReport {
     double budget_used_mb = 0.0; ///< peak extras memory in use
     std::uint64_t rearbitrations = 0; ///< arbiter allocation passes
 
-    /** Degrade/re-promote transition log ("t=<ns> ..."), run order. */
+    // ----- thermal/DVFS plant + governor (closed loop) ------------------
+
+    /**
+     * Whether the thermal plant ran; all fields below stay zero (and
+     * unprinted by debug_string) when it did not, keeping governor-off
+     * runs byte-identical to their goldens.
+     */
+    bool thermal_on = false;
+    double peak_temp_c = 0.0;   ///< peak die temperature over the run
+    double final_temp_c = 0.0;  ///< die temperature at run end
+    std::uint64_t thermal_trips = 0; ///< emergent clock step-downs
+    int dvfs_level_end = 0;     ///< ladder index at run end
+    double gpu_energy_mj = 0.0; ///< plant-accounted GPU dynamic energy
+    std::uint64_t governor_demotions = 0;
+    std::uint64_t governor_promotions = 0;
+    int governor_rung_end = 0;  ///< ladder rung at run end
+
+    /**
+     * Degrade/re-promote + governor transition log ("t=<ns> ..."),
+     * merged in time order.
+     */
     std::vector<std::string> timeline;
 
     /**

@@ -29,9 +29,19 @@ enum class DropCause : int {
     kDtvDesync,       ///< DTV promise-chain reset / slot elasticity skip
     kDegraded,        ///< watchdog fell back to VSync pacing
     kInjectedFault,   ///< consumer-side fault with no pipeline mechanism
+    kThermalThrottle, ///< GPU slowed by the DVFS plant's thermal trip
+    kGovernorCapped,  ///< governor rung capped throughput (trim/LTPO/DVFS)
 };
 
-constexpr int kDropCauseCount = 9;
+constexpr int kDropCauseCount = 11;
+
+/**
+ * Causes that existed before the thermal/governor work. Reports print
+ * these unconditionally but newer causes only when nonzero, so runs
+ * that can't produce them (no plant, no governor) stay byte-identical
+ * to their pinned goldens.
+ */
+constexpr int kDropCauseLegacyCount = 9;
 
 /** Stable short name ("slow-ui", "latch-miss", ...) for reports. */
 constexpr const char *
@@ -56,6 +66,10 @@ to_string(DropCause c)
         return "degraded";
       case DropCause::kInjectedFault:
         return "injected-fault";
+      case DropCause::kThermalThrottle:
+        return "thermal-throttle";
+      case DropCause::kGovernorCapped:
+        return "governor-capped";
     }
     return "?";
 }

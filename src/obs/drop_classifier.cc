@@ -6,6 +6,7 @@
 #include "display/panel.h"
 #include "fault/fault_plan.h"
 #include "metrics/frame_stats.h"
+#include "metrics/power_model.h"
 #include "pipeline/producer.h"
 #include "sim/logging.h"
 
@@ -24,6 +25,16 @@ DropClassifier::fault_since(int kind, Time t) const
 {
     return ctx_.plan &&
            ctx_.plan->active_in(FaultKind(kind), prev_present_, t);
+}
+
+bool
+DropClassifier::plant_hot() const
+{
+    // The GPU clock is (or was, since the previous refresh) below the
+    // governor floor because the DVFS plant tripped thermally.
+    return ctx_.plant &&
+           (ctx_.plant->throttled() ||
+            ctx_.plant->throttle_trips() != thermal_trips_seen_);
 }
 
 void
@@ -57,6 +68,8 @@ DropClassifier::on_present(const PresentEvent &ev)
     render_busy_seen_ = ctx_.producer->render_thread().total_busy();
     if (ctx_.gpu)
         gpu_busy_seen_ = ctx_.gpu->total_busy();
+    if (ctx_.plant)
+        thermal_trips_seen_ = ctx_.plant->throttle_trips();
 }
 
 DropCause
@@ -106,6 +119,15 @@ DropClassifier::classify(Time t, bool &injected, std::uint64_t &hint)
                 injected = true;
                 return DropCause::kGpuContention;
             }
+            // Emergent throttle (the plant tripped) splits from an
+            // injected slowdown via the fault plan, exactly like
+            // injected faults elsewhere: a fault window overlapping
+            // the drop marks the throttle as injected pressure.
+            if (plant_hot()) {
+                injected = fault_since(int(FaultKind::kThermalThrottle),
+                                       t);
+                return DropCause::kThermalThrottle;
+            }
             injected =
                 plan && plan->active(FaultKind::kThermalThrottle, t);
             return DropCause::kSlowRender;
@@ -140,6 +162,13 @@ DropClassifier::classify(Time t, bool &injected, std::uint64_t &hint)
                              degradations_seen_)) {
         return DropCause::kDegraded;
     }
+    // A governor rung throttling production (trimmed pre-render depth,
+    // capped LTPO rate) makes the pacer skip owed slots on purpose;
+    // attribute those before the generic DTV-elasticity bucket.
+    if (ctx_.governor_capped && ctx_.governor_capped()) {
+        injected = fault_since(int(FaultKind::kThermalThrottle), t);
+        return DropCause::kGovernorCapped;
+    }
     if (ctx_.dtv && ctx_.dtv->resyncs() != resyncs_seen_)
         return DropCause::kDtvDesync;
 
@@ -153,6 +182,11 @@ DropClassifier::classify(Time t, bool &injected, std::uint64_t &hint)
         ctx_.gpu ? ctx_.gpu->total_busy() - gpu_busy_seen_ : 0;
     if (du > 0 || dr > 0 || dg > 0) {
         if (dg >= du && dg >= dr) {
+            if (plant_hot()) {
+                injected = fault_since(int(FaultKind::kThermalThrottle),
+                                       t);
+                return DropCause::kThermalThrottle;
+            }
             return ctx_.shared_gpu ? DropCause::kGpuContention
                                    : DropCause::kSlowRender;
         }

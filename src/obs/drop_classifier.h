@@ -21,6 +21,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "obs/drop_cause.h"
@@ -36,6 +37,7 @@ class FaultPlan;
 class FrameStats;
 class Panel;
 class Producer;
+class ThermalPlant;
 struct PresentEvent;
 
 /** One attributed drop. */
@@ -70,6 +72,14 @@ class DropClassifier
         /** GPU the producer submits to (shared on multi-surface). */
         ExecResource *gpu = nullptr;
         bool shared_gpu = false;
+        /** Thermal/DVFS plant on the GPU; null when the plant is off. */
+        const ThermalPlant *plant = nullptr;
+        /**
+         * Is a governor rung engaged right now? A closure rather than a
+         * Governor pointer so obs does not depend on the governor
+         * library; null when no governor runs.
+         */
+        std::function<bool()> governor_capped;
     };
 
     DropClassifier(Context ctx, Panel &panel);
@@ -90,12 +100,14 @@ class DropClassifier
     void on_present(const PresentEvent &ev);
     DropCause classify(Time t, bool &injected, std::uint64_t &hint);
     bool fault_since(int kind, Time t) const;
+    bool plant_hot() const;
 
     Context ctx_;
     Time prev_present_ = kTimeNone;   ///< previous refresh edge seen
     std::size_t oldest_unqueued_ = 0; ///< cursor into producer records
     std::uint64_t resyncs_seen_ = 0;
     std::uint64_t degradations_seen_ = 0;
+    std::uint64_t thermal_trips_seen_ = 0;
     Time ui_busy_seen_ = 0;
     Time render_busy_seen_ = 0;
     Time gpu_busy_seen_ = 0;

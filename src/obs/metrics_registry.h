@@ -76,6 +76,13 @@ class MetricsRegistry
     /** Series of metric @p name; null when unknown or a histogram. */
     const std::vector<MetricSample> *series(const std::string &name) const;
 
+    /**
+     * Poll metric @p name's sampler once, without recording a sample —
+     * the governor's sensor-bus read. Returns false (leaving @p out
+     * untouched) for unknown names and histograms.
+     */
+    bool read(const std::string &name, double *out) const;
+
     /** JSON export: {"interval_ns":..., "metrics":[...]}. */
     std::string to_json() const;
 

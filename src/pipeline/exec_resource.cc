@@ -15,8 +15,8 @@ ExecResource::run(Time duration, std::function<void()> on_done)
     if (duration < 0)
         panic("negative work duration on %s", name_.c_str());
     const Time now = sim_.now();
-    if (cost_transform_) {
-        duration = cost_transform_(now, duration);
+    for (auto &transform : cost_transforms_) {
+        duration = transform(now, duration);
         if (duration < 0)
             panic("cost transform returned negative duration on %s",
                   name_.c_str());
@@ -30,6 +30,8 @@ ExecResource::run(Time duration, std::function<void()> on_done)
     busy_until_ = end;
     total_busy_ += duration;
     ++jobs_;
+    for (auto &listener : usage_listeners_)
+        listener(start, end);
     // The completion event belongs to this resource's lane regardless of
     // which context submitted the work (a vsync delivery on the shared
     // lane kicks a surface's UI stage; the completion still runs on the

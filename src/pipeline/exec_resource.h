@@ -45,14 +45,28 @@ class ExecResource
     Time run(Time duration, std::function<void()> on_done);
 
     /**
-     * Fault-injection hook: transform a job's duration before execution
-     * (thermal-throttle slowdown multipliers, GPU hangs). Receives the
-     * submission time and nominal duration; must return a duration >= 0.
+     * Transform a job's duration before execution. Transforms chain in
+     * registration order, each receiving the previous one's output —
+     * the DVFS plant's clock slowdown composes with an injected
+     * thermal-throttle multiplier or GPU hang this way. Receives the
+     * submission time and the duration so far; must return >= 0.
      */
     using CostTransform = std::function<Time(Time now, Time duration)>;
-    void set_cost_transform(CostTransform fn)
+    void add_cost_transform(CostTransform fn)
     {
-        cost_transform_ = std::move(fn);
+        cost_transforms_.push_back(std::move(fn));
+    }
+
+    /**
+     * Observe every job's final busy interval [start, end) at submission
+     * time, after all cost transforms. The thermal plant integrates
+     * dissipated heat from these; submission order is execution order on
+     * a serialized resource, so the observer sees a monotone schedule.
+     */
+    using UsageListener = std::function<void(Time start, Time end)>;
+    void add_usage_listener(UsageListener fn)
+    {
+        usage_listeners_.push_back(std::move(fn));
     }
 
     /**
@@ -85,7 +99,8 @@ class ExecResource
   private:
     Simulator &sim_;
     std::string name_;
-    CostTransform cost_transform_;
+    std::vector<CostTransform> cost_transforms_;
+    std::vector<UsageListener> usage_listeners_;
     std::vector<std::function<void()>> done_listeners_;
     Time busy_until_ = 0;
     Time total_busy_ = 0;

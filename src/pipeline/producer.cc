@@ -307,7 +307,10 @@ Producer::pump_gpu()
     const auto [id, buf] = pending_gpu_.front();
     pending_gpu_.pop_front();
     FrameRecord &rec = records_[id];
-    rec.gpu_start = gpu_res_->run(rec.cost.gpu_time, [this, id, buf] {
+    Time gpu_cost = rec.cost.gpu_time;
+    if (gpu_shaper_)
+        gpu_cost = gpu_shaper_(rec, gpu_cost);
+    rec.gpu_start = gpu_res_->run(gpu_cost, [this, id, buf] {
         on_gpu_done(id, buf);
     });
 }

@@ -152,6 +152,19 @@ class Producer
         queued_listeners_.push_back(std::move(fn));
     }
 
+    /**
+     * Shape a frame's GPU cost at submission (the thermal plant's
+     * frame-coherence factor): receives the record and its nominal GPU
+     * cost, returns the cost to submit. Runs before the GPU resource's
+     * cost transforms; rec.cost stays nominal.
+     */
+    using GpuCostShaper =
+        std::function<Time(const FrameRecord &, Time nominal)>;
+    void set_gpu_cost_shaper(GpuCostShaper fn)
+    {
+        gpu_shaper_ = std::move(fn);
+    }
+
     /** Schedule the scenario to play starting at absolute time @p at. */
     void start(Time at = 0);
 
@@ -276,6 +289,7 @@ class Producer
     FramePacer *pacer_ = nullptr;
     ContentSampler sampler_;
     ExtraCostFn extra_cost_;
+    GpuCostShaper gpu_shaper_;
     std::function<double()> rate_source_;
     std::vector<QueuedListener> queued_listeners_;
 

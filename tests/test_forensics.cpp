@@ -177,6 +177,53 @@ TEST(DropClassifier, ConsumerSideFaultsTagInjectedFault)
     EXPECT_GT(r.drops_injected, 0u);
 }
 
+// ----- thermal causes -----------------------------------------------------
+
+TEST(DropClassifier, ThermalThrottleWhenThePlantTripsEmergently)
+{
+    // A GPU-heavy soak under a constrained envelope: the plant trips,
+    // the slowed clock pushes frames past their deadlines, and the
+    // classifier splits those drops from generic slow-render. No fault
+    // plan: every throttle drop must stay un-injected (emergent).
+    const Time p = pixel5().period();
+    Scenario sc("thermal-soak");
+    sc.realtime(1'500_ms, std::make_shared<ConstantCostModel>(FrameCost{
+                              Time(0.06 * p), Time(0.12 * p),
+                              Time(0.78 * p)}));
+    const RunReport r = run_experiment(SystemConfig()
+                                           .with_mode(RenderMode::kDvsync)
+                                           .with_thermal_envelope(0.5),
+                                       sc);
+    expect_attributed(r);
+    EXPECT_GT(r.thermal_trips, 0u);
+    EXPECT_GT(r.drop_causes[int(DropCause::kThermalThrottle)], 0u);
+    EXPECT_EQ(r.drops_injected, 0u);
+}
+
+TEST(DropClassifier, InjectedThrottleWindowsSplitFromEmergentTrips)
+{
+    // The same soak with injected thermal-throttle fault windows on
+    // top: drops inside a window count as injected via
+    // FaultPlan::active_in, the rest stay emergent.
+    const Time p = pixel5().period();
+    Scenario sc("thermal-soak-injected");
+    sc.realtime(1'500_ms, std::make_shared<ConstantCostModel>(FrameCost{
+                              Time(0.06 * p), Time(0.12 * p),
+                              Time(0.78 * p)}));
+    const RunReport r = run_experiment(
+        SystemConfig()
+            .with_mode(RenderMode::kDvsync)
+            .with_seed(1)
+            .with_thermal_envelope(0.5)
+            .with_faults(one_kind_plan(FaultKind::kThermalThrottle, 1,
+                                       1'500_ms)),
+        sc);
+    expect_attributed(r);
+    EXPECT_GT(r.drop_causes[int(DropCause::kThermalThrottle)], 0u);
+    EXPECT_GT(r.drops_injected, 0u);
+    EXPECT_LT(r.drops_injected, r.drops); // both flavors present
+}
+
 // ----- pacing-level causes (harness) --------------------------------------
 //
 // kDegraded and kDtvDesync attribute drops whose owed frame was never
@@ -314,6 +361,37 @@ TEST(DropClassifier, DtvDesyncTagsDropsAfterPromiseChainResets)
 
     EXPECT_GT(cls.total(), 0u);
     EXPECT_EQ(cls.counts()[int(DropCause::kDtvDesync)], cls.total());
+}
+
+TEST(DropClassifier, GovernorCappedTagsPacerSkipsWhileARungIsEngaged)
+{
+    // Idle-pipeline drops with an engaged governor rung in context: the
+    // ladder throttled production on purpose, so the skips attribute to
+    // governor-capped ahead of the DTV-elasticity bucket.
+    IdleDropHarness h;
+    DropClassifier::Context cc = h.context();
+    bool capping = true;
+    cc.governor_capped = [&capping] { return capping; };
+    DropClassifier cls(cc, h.panel);
+    h.run();
+
+    EXPECT_GT(cls.total(), 0u);
+    EXPECT_EQ(cls.counts()[int(DropCause::kGovernorCapped)], cls.total());
+    EXPECT_EQ(cls.unknown_drops(), 0u);
+}
+
+TEST(DropClassifier, GovernorCappedYieldsWhenNoRungIsEngaged)
+{
+    // The same wiring with the ladder at nominal: the closure answers
+    // false and the drops fall through to the usual buckets.
+    IdleDropHarness h;
+    DropClassifier::Context cc = h.context();
+    cc.governor_capped = [] { return false; };
+    DropClassifier cls(cc, h.panel);
+    h.run();
+
+    EXPECT_GT(cls.total(), 0u);
+    EXPECT_EQ(cls.counts()[int(DropCause::kGovernorCapped)], 0u);
 }
 
 TEST(DropClassifier, UnknownOnlyWithoutAnyMechanism)

@@ -136,6 +136,23 @@ TEST(Power, DvsyncOverheadIsFractionOfAPercent)
     EXPECT_LT(inc2, 1.0);
 }
 
+#include <cmath>
+
+TEST(Power, PercentIncreaseIsNanOnAnEmptyBaseline)
+{
+    // A zero-energy baseline is a config bug: the comparison must read
+    // as "no answer" (NaN, rendered "n/a" by the campaign roll-ups),
+    // never as 0% which would mask it.
+    PowerModel pm;
+    RunActivity empty;
+    RunActivity busy{10_s, 2_s, 600, false, 0, 151'600};
+    EXPECT_TRUE(std::isnan(pm.percent_increase(empty, busy)));
+    EXPECT_TRUE(std::isnan(pm.percent_increase(empty, empty)));
+    // A valid baseline still answers, even against an empty subject.
+    EXPECT_NEAR(pm.percent_increase(busy, busy), 0.0, 1e-12);
+    EXPECT_NEAR(pm.percent_increase(busy, empty), -100.0, 1e-9);
+}
+
 TEST(Power, InstructionOverheadMatchesPaper)
 {
     // §6.7: 10.793M vs 10.849M instructions per frame => +0.52%.
