@@ -25,6 +25,10 @@
  *                everything mix, seed 1, D-VSync) with frame forensics
  *                on and write its dump JSON to PATH — feed it to
  *                dvsync_inspect
+ *   --record=BASE  record the canonical specimen under both pacing
+ *                modes as replayable .dvst captures (BASE.vsync.dvst +
+ *                BASE.dvsync.dvst — feed them to trace_campaign) and
+ *                exit without running the campaign grid
  *
  * Exits nonzero when any run violates an invariant, fails, or drops a
  * frame the classifier cannot attribute to a cause.
@@ -40,6 +44,7 @@
 #include "bench_common.h"
 #include "fault/fault_plan.h"
 #include "sim/logging.h"
+#include "trace/session_recorder.h"
 #include "workload/frame_cost.h"
 
 using namespace dvs;
@@ -83,6 +88,7 @@ main(int argc, char **argv)
     bool golden = args.bool_flag("golden");
     std::string out_path = args.string_flag("out", "BENCH_chaos.json");
     const std::string forensics_path = args.string_flag("forensics");
+    const std::string record_base = args.string_flag("record");
     const int jobs = args.jobs();
     const int sim_workers = args.int_flag("sim-workers", 0);
     args.finish();
@@ -99,6 +105,33 @@ main(int argc, char **argv)
     const Time horizon = scenario.total_duration();
     const std::vector<FaultMix> mixes = FaultMix::campaign_mixes();
     const RenderMode modes[] = {RenderMode::kVsync, RenderMode::kDvsync};
+
+    if (!record_base.empty()) {
+        // Record the canonical specimen (everything mix, seed 1) under
+        // each pacing mode as a verbatim .dvst capture.
+        for (RenderMode mode : modes) {
+            SystemConfig cfg =
+                SystemConfig()
+                    .with_mode(mode)
+                    .with_seed(1)
+                    .with_faults(std::make_shared<const FaultPlan>(
+                        FaultPlan::generate(1, horizon,
+                                            FaultMix::everything())));
+            RenderSystem sys(cfg, scenario);
+            sys.run();
+            const SessionCapture cap = SessionRecorder::capture(
+                sys, std::string("chaos/everything/seed1/") +
+                         to_string(mode));
+            const std::string path =
+                record_base +
+                (mode == RenderMode::kVsync ? ".vsync.dvst"
+                                            : ".dvsync.dvst");
+            if (!cap.save(path))
+                fatal("cannot write capture %s", path.c_str());
+            std::fprintf(stderr, "capture written to %s\n", path.c_str());
+        }
+        return 0;
+    }
 
     // The grid, mix-major: every (mix, mode) cell holds `seeds` runs.
     std::vector<Experiment> points;

@@ -10,20 +10,29 @@
  * causal span chain (input → UI → render → GPU → queue → display).
  *
  * Usage: dvsync_inspect DUMP.json [--top=K] [--golden]
+ *        dvsync_inspect --diff A.json B.json [--top=K]
  *   --top=K    how many worst frames / drops to detail (default 5)
  *   --golden   golden-check mode; output is already deterministic, the
  *              flag only asserts no environment-dependent lines sneak in
+ *   --diff     compare two dumps (e.g. the same trace replayed before
+ *              and after a change, or under VSync vs D-VSync): per-cause
+ *              drop deltas, frames whose presentation fate flipped, and
+ *              the frames whose latency diverged most, with both causal
+ *              chains printed side by side
  *
- * Exits nonzero when the dump cannot be read or parsed, or when any
- * drop in it carries an unknown cause — a fully wired system must
- * attribute every drop, so an unknown-cause dump is a regression.
+ * Exits nonzero when a dump cannot be read or parsed, or (single-dump
+ * mode) when any drop in it carries an unknown cause — a fully wired
+ * system must attribute every drop, so an unknown-cause dump is a
+ * regression.
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -78,6 +87,215 @@ frame_title(const JsonValue &frame, const JsonValue &surface)
     return buf;
 }
 
+/** Load + validate a forensics dump; exits on failure. */
+JsonValue
+load_dump(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "dvsync_inspect: cannot open %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    JsonValue dump = JsonValue::parse(text.str(), &error);
+    if (dump.is_null()) {
+        std::fprintf(stderr, "dvsync_inspect: parse error in %s: %s\n",
+                     path.c_str(), error.c_str());
+        std::exit(1);
+    }
+    if (dump.string_at("source") != "dvsync-forensics") {
+        std::fprintf(stderr,
+                     "dvsync_inspect: %s is not a forensics dump "
+                     "(source=%s)\n",
+                     path.c_str(), dump.string_at("source", "?").c_str());
+        std::exit(1);
+    }
+    return dump;
+}
+
+/** A frame's identity across two dumps of the same workload. */
+struct FrameKey {
+    std::string surface;
+    long long seg = 0;
+    long long slot = 0;
+
+    bool operator<(const FrameKey &o) const
+    {
+        if (surface != o.surface)
+            return surface < o.surface;
+        if (seg != o.seg)
+            return seg < o.seg;
+        return slot < o.slot;
+    }
+};
+
+struct FrameFate {
+    const JsonValue *frame = nullptr;
+    const JsonValue *surface = nullptr;
+    bool presented = false;
+    double latency_ns = -1.0; ///< present - timeline, when presented
+};
+
+std::map<FrameKey, FrameFate>
+index_frames(const JsonValue &dump)
+{
+    std::map<FrameKey, FrameFate> out;
+    for (const JsonValue &sf : dump.at("surfaces").items()) {
+        const std::string name = sf.string_at("name");
+        for (const JsonValue &f : sf.at("frames").items()) {
+            FrameKey key{name, (long long)f.number_at("seg"),
+                         (long long)f.number_at("slot")};
+            FrameFate fate;
+            fate.frame = &f;
+            fate.surface = &sf;
+            const double present = f.number_at("present", -1.0);
+            const double timeline = f.number_at("timeline", -1.0);
+            fate.presented = present >= 0.0;
+            if (present >= 0.0 && timeline >= 0.0)
+                fate.latency_ns = present - timeline;
+            // Pre-rendered frames can share (seg, slot) with a re-render
+            // of the same content; keep the one that reached the screen.
+            auto [it, inserted] = out.emplace(key, fate);
+            if (!inserted && fate.presented && !it->second.presented)
+                it->second = fate;
+        }
+    }
+    return out;
+}
+
+void
+tally_causes(const JsonValue &dump, std::uint64_t causes[kDropCauseCount])
+{
+    for (const JsonValue &sf : dump.at("surfaces").items())
+        for (int c = 0; c < kDropCauseCount; ++c)
+            causes[c] += std::uint64_t(
+                sf.at("causes").number_at(to_string(DropCause(c))));
+}
+
+int
+run_diff(const std::string &path_a, const std::string &path_b, int top)
+{
+    const JsonValue a = load_dump(path_a);
+    const JsonValue b = load_dump(path_b);
+
+    std::printf("diff: A=%s (scenario=%s mode=%s)\n", path_a.c_str(),
+                a.string_at("scenario", "?").c_str(),
+                a.string_at("mode", "?").c_str());
+    std::printf("      B=%s (scenario=%s mode=%s)\n", path_b.c_str(),
+                b.string_at("scenario", "?").c_str(),
+                b.string_at("mode", "?").c_str());
+
+    // ----- per-cause drop deltas --------------------------------------
+    std::uint64_t causes_a[kDropCauseCount] = {};
+    std::uint64_t causes_b[kDropCauseCount] = {};
+    tally_causes(a, causes_a);
+    tally_causes(b, causes_b);
+    std::uint64_t drops_a = 0, drops_b = 0;
+    for (int c = 0; c < kDropCauseCount; ++c) {
+        drops_a += causes_a[c];
+        drops_b += causes_b[c];
+    }
+    std::printf("\ndrop causes (A -> B):\n");
+    std::printf("  %-15s %6s %6s %7s\n", "cause", "A", "B", "delta");
+    for (int c = 0; c < kDropCauseCount; ++c) {
+        if (causes_a[c] == 0 && causes_b[c] == 0)
+            continue;
+        std::printf("  %-15s %6llu %6llu %+7lld\n",
+                    to_string(DropCause(c)),
+                    (unsigned long long)causes_a[c],
+                    (unsigned long long)causes_b[c],
+                    (long long)causes_b[c] - (long long)causes_a[c]);
+    }
+    std::printf("  %-15s %6llu %6llu %+7lld\n", "total",
+                (unsigned long long)drops_a, (unsigned long long)drops_b,
+                (long long)drops_b - (long long)drops_a);
+
+    // ----- presentation-fate flips ------------------------------------
+    const std::map<FrameKey, FrameFate> frames_a = index_frames(a);
+    const std::map<FrameKey, FrameFate> frames_b = index_frames(b);
+
+    std::vector<const FrameKey *> gained, lost, only_a, only_b;
+    struct Diverged {
+        const FrameKey *key;
+        const FrameFate *a;
+        const FrameFate *b;
+        double delta_ns;
+    };
+    std::vector<Diverged> diverged;
+    for (const auto &[key, fa] : frames_a) {
+        const auto it = frames_b.find(key);
+        if (it == frames_b.end()) {
+            only_a.push_back(&key);
+            continue;
+        }
+        const FrameFate &fb = it->second;
+        if (fa.presented != fb.presented) {
+            (fb.presented ? gained : lost).push_back(&key);
+        } else if (fa.latency_ns >= 0.0 && fb.latency_ns >= 0.0 &&
+                   fa.latency_ns != fb.latency_ns) {
+            diverged.push_back(
+                Diverged{&key, &fa, &fb, fb.latency_ns - fa.latency_ns});
+        }
+    }
+    for (const auto &[key, fb] : frames_b) {
+        if (!frames_a.count(key))
+            only_b.push_back(&key);
+    }
+
+    std::printf("\nframes: %zu in A, %zu in B (%zu only in A, %zu only "
+                "in B)\n",
+                frames_a.size(), frames_b.size(), only_a.size(),
+                only_b.size());
+    std::printf("fate flips: %zu presented in B but not A, %zu presented "
+                "in A but not B\n",
+                gained.size(), lost.size());
+    const auto list_keys = [&](const char *title,
+                               const std::vector<const FrameKey *> &keys) {
+        if (keys.empty())
+            return;
+        std::printf("  %s:", title);
+        int shown = 0;
+        for (const FrameKey *k : keys) {
+            if (shown++ >= top) {
+                std::printf(" ...");
+                break;
+            }
+            std::printf(" %s%s%lld.%lld", k->surface.c_str(),
+                        k->surface.empty() ? "" : "/", k->seg, k->slot);
+        }
+        std::printf("\n");
+    };
+    list_keys("newly presented", gained);
+    list_keys("newly dropped", lost);
+
+    // ----- worst latency divergence, chains side by side --------------
+    std::stable_sort(diverged.begin(), diverged.end(),
+                     [](const Diverged &x, const Diverged &y) {
+                         return std::abs(x.delta_ns) > std::abs(y.delta_ns);
+                     });
+    if (diverged.size() > std::size_t(top))
+        diverged.resize(std::size_t(top));
+    std::printf("\nlargest latency divergence (A -> B), top %d:\n", top);
+    for (std::size_t i = 0; i < diverged.size(); ++i) {
+        const Diverged &d = diverged[i];
+        std::printf("  #%zu %s latency %.3fms -> %.3fms (%+.3fms)\n",
+                    i + 1,
+                    frame_title(*d.a->frame, *d.a->surface).c_str(),
+                    ms(d.a->latency_ns), ms(d.b->latency_ns),
+                    ms(d.delta_ns));
+        std::printf("    chain in A:\n");
+        print_chain(*d.a->frame);
+        std::printf("    chain in B:\n");
+        print_chain(*d.b->frame);
+    }
+    if (diverged.empty())
+        std::printf("  (no shared presented frames diverged)\n");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -86,38 +304,22 @@ main(int argc, char **argv)
     bench::ArgParser args(argc, argv);
     const int top = args.int_flag("top", 5);
     args.bool_flag("golden"); // output is deterministic either way
-    const std::vector<std::string> paths = args.positional(1);
+    const bool diff = args.bool_flag("diff");
+    const std::vector<std::string> paths = args.positional(diff ? 2 : 1);
     args.finish();
-    const std::string path = paths.empty() ? "" : paths.front();
-    if (path.empty() || top < 1) {
+    if (top < 1 || paths.size() != (diff ? 2u : 1u)) {
         std::fprintf(stderr,
                      "usage: dvsync_inspect DUMP.json [--top=K] "
-                     "[--golden]\n");
+                     "[--golden]\n"
+                     "       dvsync_inspect --diff A.json B.json "
+                     "[--top=K]\n");
         return 2;
     }
+    if (diff)
+        return run_diff(paths[0], paths[1], top);
+    const std::string path = paths.front();
 
-    std::ifstream in(path);
-    if (!in) {
-        std::fprintf(stderr, "dvsync_inspect: cannot open %s\n",
-                     path.c_str());
-        return 1;
-    }
-    std::ostringstream text;
-    text << in.rdbuf();
-
-    std::string error;
-    const JsonValue dump = JsonValue::parse(text.str(), &error);
-    if (dump.is_null()) {
-        std::fprintf(stderr, "dvsync_inspect: parse error: %s\n",
-                     error.c_str());
-        return 1;
-    }
-    if (dump.string_at("source") != "dvsync-forensics") {
-        std::fprintf(stderr,
-                     "dvsync_inspect: not a forensics dump (source=%s)\n",
-                     dump.string_at("source", "?").c_str());
-        return 1;
-    }
+    const JsonValue dump = load_dump(path);
 
     const std::vector<JsonValue> &surfaces = dump.at("surfaces").items();
 

@@ -18,7 +18,7 @@
  *    arbiter must demonstrably buy frames with the same memory.
  *
  * Usage: fleet_campaign [--seeds=N] [--jobs=N] [--out=PATH] [--golden]
- *                       [--sim-workers=N]
+ *                       [--sim-workers=N] [--record=PATH]
  *   --seeds=N    seeds per (count, budget, policy) cell (default 10;
  *                the default grid is 3 counts x 4 budgets x 2 policies
  *                x 10 seeds = 240 sessions)
@@ -30,6 +30,9 @@
  *                BENCH_fleet.json; "-" suppresses the file)
  *   --golden     deterministic single-seed replay dump for the golden
  *                check (per-session reports, no JSON, no timing)
+ *   --record=PATH  record one canonical 4-surface session (full roster,
+ *                weighted arbiter, 32 MB budget, seed 1) as a replayable
+ *                .dvst capture at PATH and exit without running the sweep
  *
  * Exits nonzero when the acceptance bar fails.
  */
@@ -45,6 +48,7 @@
 #include "bench_common.h"
 #include "sim/logging.h"
 #include "surface/multi_surface.h"
+#include "trace/session_recorder.h"
 #include "workload/distributions.h"
 #include "workload/frame_cost.h"
 
@@ -149,6 +153,7 @@ main(int argc, char **argv)
     std::string out_path = args.string_flag("out", "BENCH_fleet.json");
     const int jobs = args.jobs();
     const int sim_workers = args.int_flag("sim-workers", 0);
+    const std::string record_path = args.string_flag("record");
     args.finish();
     if (seeds < 1)
         fatal("--seeds must be >= 1");
@@ -157,6 +162,22 @@ main(int argc, char **argv)
     if (golden) {
         seeds = 1;
         out_path = "-";
+    }
+
+    if (!record_path.empty()) {
+        MultiSurfaceSystem sys(roster(4, 1),
+                               MultiSurfaceConfig()
+                                   .with_seed(1)
+                                   .with_budget_mb(32.0)
+                                   .with_policy(ArbiterPolicy::kWeighted));
+        sys.run();
+        const SessionCapture cap = SessionRecorder::capture(
+            sys, "fleet/4surf/32mb/weighted/seed1");
+        if (!cap.save(record_path))
+            fatal("cannot write capture %s", record_path.c_str());
+        std::fprintf(stderr, "capture written to %s\n",
+                     record_path.c_str());
+        return 0;
     }
 
     const int counts[] = {2, 3, 4};

@@ -28,7 +28,7 @@
  * governor engaged) must finish with zero invariant violations.
  *
  * Usage: governor_campaign [--seeds=N] [--jobs=N] [--out=PATH] [--golden]
- *                          [--sim-workers=N]
+ *                          [--sim-workers=N] [--record=PATH]
  *   --seeds=N    seeds per (tier, envelope, policy) cell (default 5)
  *   --sim-workers=N  parallel lane-dispatch workers inside each run
  *                (default 0 = serial; byte-identical either way)
@@ -36,6 +36,9 @@
  *                BENCH_governor.json; "-" suppresses the file)
  *   --golden     deterministic single-seed replay dump for the golden
  *                check (per-run reports + the frontier table, no JSON)
+ *   --record=PATH  record one canonical governed soak (first fleet tier,
+ *                constrained envelope, governor policy, seed 1) as a
+ *                replayable .dvst capture at PATH and exit
  *
  * Exits nonzero on any invariant violation, failed run, unattributed
  * drop, or if the governor loses a whole constrained envelope sweep.
@@ -55,6 +58,7 @@
 #include "fault/fault_plan.h"
 #include "metrics/power_model.h"
 #include "sim/logging.h"
+#include "trace/session_recorder.h"
 #include "workload/device_population.h"
 #include "workload/frame_cost.h"
 
@@ -219,6 +223,7 @@ main(int argc, char **argv)
     std::string out_path = args.string_flag("out", "BENCH_governor.json");
     const int jobs = args.jobs();
     const int sim_workers = args.int_flag("sim-workers", 0);
+    const std::string record_path = args.string_flag("record");
     args.finish();
     if (seeds < 1)
         fatal("--seeds must be >= 1");
@@ -231,6 +236,23 @@ main(int argc, char **argv)
 
     const DevicePopulation fleet = DevicePopulation::paper_fleet();
     const std::vector<DeviceTier> &tiers = fleet.tiers();
+
+    if (!record_path.empty()) {
+        // Record a governed soak whose closed loop actually engages:
+        // first tier, constrained envelope, ladder enabled.
+        const DeviceTier &tier = tiers.front();
+        RenderSystem sys(
+            policy_config(tier, kEnvelopes[1], kGoverned, 1, 0),
+            soak_scenario(tier.device));
+        sys.run();
+        const SessionCapture cap = SessionRecorder::capture(
+            sys, tier.name + "/constrained/governor/seed1");
+        if (!cap.save(record_path))
+            fatal("cannot write capture %s", record_path.c_str());
+        std::fprintf(stderr, "capture written to %s\n",
+                     record_path.c_str());
+        return 0;
+    }
 
     // Grid, tier-major: every (tier, envelope, policy) cell holds
     // `seeds` runs; the chaos leg (everything-mix fault plans with the

@@ -22,6 +22,7 @@ for golden in bench/goldens/*.txt; do
         fleet_campaign.golden) continue ;;
         dvsync_inspect.golden) continue ;;
         megafleet_campaign.golden) continue ;;
+        trace_campaign.golden) continue ;;
     esac
     bin="$BENCH_DIR/$name"
     if [[ ! -x "$bin" ]]; then
@@ -135,6 +136,24 @@ else
     echo "DIFF     megafleet_campaign (golden replay)"
     diff bench/goldens/megafleet_campaign.golden.txt \
          "$TMP/megafleet_campaign.golden.txt" | head -20 || true
+    fail=1
+fi
+
+# trace_campaign: replays the committed traces/ corpus under both pacing
+# modes; --golden pins the per-entry table plus the full per-entry
+# replay dumps (reports, dispatch hashes, lineage). The replay also
+# enforces the bit-exact contract and the acceptance bar, so a nonzero
+# exit fails the check even if the text matches. Byte-stable at any
+# --jobs / --sim-workers (checked separately in scripts/ci.sh).
+if "$BENCH_DIR/trace_campaign" --golden --jobs=1 2>/dev/null \
+    > "$TMP/trace_campaign.golden.txt" \
+    && cmp -s bench/goldens/trace_campaign.golden.txt \
+              "$TMP/trace_campaign.golden.txt"; then
+    echo "OK       trace_campaign (corpus replay)"
+else
+    echo "DIFF     trace_campaign (corpus replay)"
+    diff bench/goldens/trace_campaign.golden.txt \
+         "$TMP/trace_campaign.golden.txt" | head -20 || true
     fail=1
 fi
 

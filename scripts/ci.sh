@@ -110,3 +110,30 @@ if ! cmp "$MEGATMP/merged_summary.txt" "$MEGATMP/unsharded_summary.txt"; then
     exit 1
 fi
 echo "megafleet sharded smoke: 2-way merge byte-identical to unsharded"
+
+# Trace corpus regression: replay every committed .dvst capture as
+# recorded and under both forced pacing modes. Every verbatim entry must
+# re-verify bit-exactly against its recording (event dispatch hash plus
+# field-by-field report equality), and every replay leg must clear the
+# acceptance bar (zero invariant violations, every drop attributed) —
+# nonzero exit otherwise. Also under sanitizers: the .dvst decode and
+# replay-workload paths are fresh C++ over attacker-shaped input.
+"$BUILD_DIR/bench/trace_campaign" --corpus=traces --out=- \
+    > "$MEGATMP/trace_default.txt"
+
+# Replay determinism: the campaign's stdout must be byte-stable across
+# the replay thread-pool width (--jobs) and the simulator worker count
+# (--sim-workers) — the lane-dispatch identity contract (DESIGN.md §5i).
+"$BUILD_DIR/bench/trace_campaign" --corpus=traces --out=- \
+    --jobs=1 --sim-workers=2 > "$MEGATMP/trace_j1w2.txt"
+"$BUILD_DIR/bench/trace_campaign" --corpus=traces --out=- \
+    --jobs=7 --sim-workers=4 > "$MEGATMP/trace_j7w4.txt"
+if ! cmp "$MEGATMP/trace_default.txt" "$MEGATMP/trace_j1w2.txt"; then
+    echo "trace corpus: replay output changed under --jobs=1 --sim-workers=2" >&2
+    exit 1
+fi
+if ! cmp "$MEGATMP/trace_default.txt" "$MEGATMP/trace_j7w4.txt"; then
+    echo "trace corpus: replay output changed under --jobs=7 --sim-workers=4" >&2
+    exit 1
+fi
+echo "trace corpus replay: bit-exact, byte-stable across jobs/sim-workers"

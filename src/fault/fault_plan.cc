@@ -162,6 +162,17 @@ FaultPlan::generate(std::uint64_t seed, Time horizon, const FaultMix &mix)
     return plan;
 }
 
+FaultPlan
+FaultPlan::from_windows(std::uint64_t seed, const std::string &mix_name,
+                        std::vector<FaultWindow> windows)
+{
+    FaultPlan plan;
+    plan.seed_ = seed;
+    plan.mix_name_ = mix_name;
+    plan.windows_ = std::move(windows);
+    return plan;
+}
+
 bool
 FaultPlan::active(FaultKind kind, Time now) const
 {

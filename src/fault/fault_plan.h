@@ -90,6 +90,16 @@ class FaultPlan
     static FaultPlan generate(std::uint64_t seed, Time horizon,
                               const FaultMix &mix);
 
+    /**
+     * Rebuild a plan from previously-generated windows — the trace
+     * subsystem's deserialization path. @p windows must already be in
+     * generate()'s sort order; a plan round-tripped through its own
+     * accessors compares equal to the original.
+     */
+    static FaultPlan from_windows(std::uint64_t seed,
+                                  const std::string &mix_name,
+                                  std::vector<FaultWindow> windows);
+
     std::uint64_t seed() const { return seed_; }
     const std::string &mix_name() const { return mix_name_; }
     const std::vector<FaultWindow> &windows() const { return windows_; }

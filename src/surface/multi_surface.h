@@ -274,6 +274,7 @@ class MultiSurfaceSystem
     // ----- component access -------------------------------------------
 
     std::size_t size() const { return surfaces_.size(); }
+    const MultiSurfaceConfig &config() const { return config_; }
     Simulator &sim() { return sim_; }
     HwVsyncGenerator &hw_vsync() { return *hw_; }
     ExecResource &gpu() { return *gpu_; }

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Binary primitives of the .dvst trace format.
+ *
+ * The session capture format is a sequence of CRC-guarded sections after
+ * a fixed 8-byte header. Everything inside a section payload is built
+ * from four primitives:
+ *
+ *  - fixed-width little-endian integers (header fields, CRCs, raw
+ *    64-bit values such as seeds);
+ *  - LEB128 varints for unsigned counts and, zigzag-folded, for signed
+ *    quantities (timestamps and costs are delta-encoded, so they are
+ *    small signed numbers);
+ *  - doubles as their raw IEEE-754 bit pattern (8 LE bytes) — the
+ *    replay contract is *bit*-exact, so no decimal round-trip is ever
+ *    allowed to touch a recorded value;
+ *  - length-prefixed UTF-8 strings.
+ *
+ * ByteReader never throws and never reads out of bounds: the first
+ * malformed read latches an error message and every subsequent read
+ * returns zero, so decoders can parse straight-line and check ok() once
+ * per section. Corrupt inputs must always yield a clean error — the
+ * fuzz tests flip every byte of a capture and expect load() to fail.
+ */
+
+#ifndef DVS_TRACE_DVST_IO_H
+#define DVS_TRACE_DVST_IO_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dvs {
+
+/** CRC-32 (IEEE 802.3, reflected) over @p n bytes. */
+std::uint32_t dvst_crc32(const void *data, std::size_t n);
+
+/** FNV-1a over a string — the report-fingerprint hash of the captures. */
+inline std::uint64_t
+fnv1a(std::string_view s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Appends primitives to a byte buffer. */
+class ByteWriter
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(char(v)); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+
+    /** Unsigned LEB128. */
+    void varint(std::uint64_t v);
+
+    /** Zigzag-folded LEB128. */
+    void svarint(std::int64_t v);
+
+    /** Raw IEEE-754 bit pattern, 8 LE bytes. */
+    void f64(double v);
+
+    /** Varint length + raw bytes. */
+    void str(std::string_view s);
+
+    void raw(const void *data, std::size_t n);
+
+    const std::string &bytes() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+
+  private:
+    std::string buf_;
+};
+
+/**
+ * Bounds-checked reader over a byte span. All reads return 0 after the
+ * first failure; check ok()/error() at section granularity.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::string_view bytes)
+        : p_(bytes.data()), end_(bytes.data() + bytes.size())
+    {
+    }
+
+    bool ok() const { return ok_; }
+    const std::string &error() const { return error_; }
+    bool at_end() const { return !ok_ || p_ == end_; }
+    std::size_t remaining() const { return std::size_t(end_ - p_); }
+
+    /** Latch a decode error (first one wins). */
+    void fail(const std::string &why);
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::uint64_t varint();
+    std::int64_t svarint();
+    double f64();
+    std::string str();
+
+    /**
+     * A count that prefixes a repeated group whose elements are at least
+     * @p min_element_bytes each: bounded by the remaining payload so a
+     * corrupted count can never drive a huge allocation.
+     */
+    std::uint64_t count(std::size_t min_element_bytes = 1);
+
+  private:
+    bool need(std::size_t n);
+
+    const char *p_;
+    const char *end_;
+    bool ok_ = true;
+    std::string error_;
+};
+
+/**
+ * Append one framed section: 4-byte tag + u32 payload length + payload
+ * + u32 CRC-32 of the payload.
+ */
+void dvst_write_section(std::string &out, const char tag[4],
+                        const std::string &payload);
+
+} // namespace dvs
+
+#endif // DVS_TRACE_DVST_IO_H

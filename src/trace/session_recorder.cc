@@ -1,0 +1,123 @@
+#include "trace/session_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/dvst_io.h"
+
+namespace dvs {
+
+namespace {
+
+/** Highest rate the panel can anchor a segment's timeline at. */
+double
+max_refresh_hz(const DeviceConfig &device)
+{
+    double hz = device.refresh_hz;
+    for (double r : device.ltpo_rates)
+        hz = std::max(hz, r);
+    return hz;
+}
+
+std::vector<FrameSample>
+sample_records(const Producer &producer)
+{
+    std::vector<FrameSample> out;
+    out.reserve(producer.records().size());
+    for (const FrameRecord &rec : producer.records())
+        out.push_back(FrameSample::from_record(rec));
+    return out;
+}
+
+} // namespace
+
+ScenarioCapture
+SessionRecorder::capture_scenario(const Scenario &scenario,
+                                  const DeviceConfig &device,
+                                  const Producer &producer)
+{
+    ScenarioCapture sc;
+    sc.name = scenario.name();
+    const double max_hz = max_refresh_hz(device);
+    for (std::size_t i = 0; i < scenario.size(); ++i) {
+        const Segment &seg = scenario.segments()[i];
+        SegmentCapture cap;
+        cap.kind = seg.kind;
+        cap.duration = seg.duration;
+        cap.label = seg.label;
+        if (seg.produces_frames()) {
+            // Table bound: a segment anchored at the panel's highest
+            // rate owes at most ceil(duration * hz / 1e9) + 1 slots;
+            // widen to the slot count this run actually resolved (the
+            // anchor lands after the segment start, never before), so
+            // the table covers every query replay can make.
+            std::int64_t slots = std::int64_t(
+                std::ceil(double(seg.duration) * max_hz / 1e9)) + 2;
+            const SegmentState &st = producer.segment_state(int(i));
+            if (st.total_slots > 0)
+                slots = std::max(slots, st.total_slots);
+            cap.costs.name = seg.label;
+            cap.costs.rate_hz = max_hz;
+            cap.costs.frames.reserve(std::size_t(slots));
+            for (std::int64_t s = 0; s < slots; ++s)
+                cap.costs.frames.push_back(seg.cost->cost_for(
+                    s + std::int64_t(i) * kCostIndexStride));
+        }
+        if (seg.touch)
+            cap.touch = seg.touch->events();
+        sc.segments.push_back(std::move(cap));
+    }
+    return sc;
+}
+
+SessionCapture
+SessionRecorder::capture(RenderSystem &sys, const std::string &label)
+{
+    SessionCapture cap;
+    cap.kind = SessionCapture::Kind::kSingle;
+    cap.label = label;
+    cap.config = sys.config();
+    cap.scenario = capture_scenario(sys.producer().scenario(),
+                                    sys.config().device, sys.producer());
+    cap.frames = sample_records(sys.producer());
+
+    const RunReport report = sys.report();
+    cap.timeline = report.timeline;
+    cap.verbatim = true;
+    cap.source_dispatch_hash = sys.sim().events().dispatch_hash();
+    cap.source_report_fnv = fnv1a(report.debug_string());
+    return cap;
+}
+
+SessionCapture
+SessionRecorder::capture(MultiSurfaceSystem &sys, const std::string &label)
+{
+    SessionCapture cap;
+    cap.kind = SessionCapture::Kind::kMulti;
+    cap.label = label;
+    cap.multi_config = sys.config();
+    for (int i = 0; i < int(sys.size()); ++i) {
+        const SurfaceDesc &desc = sys.desc(i);
+        SurfaceCapture s;
+        s.name = desc.name;
+        s.dvsync_aware = desc.dvsync_aware;
+        s.buffer_mb = desc.buffer_mb;
+        s.max_extra_buffers = desc.max_extra_buffers;
+        s.weight = desc.weight;
+        s.start_at = desc.start_at;
+        s.scenario = capture_scenario(desc.scenario,
+                                      sys.config().device,
+                                      sys.producer(i));
+        s.frames = sample_records(sys.producer(i));
+        cap.surfaces.push_back(std::move(s));
+    }
+
+    const RunReport report = sys.report();
+    cap.timeline = report.timeline;
+    cap.verbatim = true;
+    cap.source_dispatch_hash = sys.sim().events().dispatch_hash();
+    cap.source_report_fnv = fnv1a(report.debug_string());
+    return cap;
+}
+
+} // namespace dvs

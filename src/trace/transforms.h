@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Trace transforms: mutate a real capture into a new scenario.
+ *
+ * Each transform is a pure value function SessionCapture -> Session-
+ * Capture, so transforms compose by chaining. Every transform:
+ *
+ *  - appends a description of itself to the capture's lineage, so a
+ *    derived trace documents its own provenance;
+ *  - clears the verbatim flag and the recorded hashes — a mutated
+ *    capture is a *new deterministic scenario*, not a recording, and
+ *    claiming the original's bit-exact contract would be a lie;
+ *  - drops the observational streams (frame samples, timeline), which
+ *    describe the original run, not the mutated one.
+ *
+ * Replaying a transformed capture is still fully deterministic (same
+ * file, same options -> byte-identical run); it just verifies against
+ * nothing recorded.
+ */
+
+#ifndef DVS_TRACE_TRANSFORMS_H
+#define DVS_TRACE_TRANSFORMS_H
+
+#include "trace/session_capture.h"
+
+namespace dvs {
+
+/**
+ * Scale the session's time axis by @p factor (> 0): segment durations,
+ * touch timestamps, fault windows, and surface start times stretch
+ * (factor > 1) or compress (factor < 1). Frame costs are untouched —
+ * compressing time against constant costs raises effective load.
+ */
+SessionCapture time_warp(SessionCapture cap, double factor);
+
+/**
+ * Multiply the cost of every recorded frame whose total exceeds
+ * @p threshold by @p factor — "what if the heavy frames were worse".
+ */
+SessionCapture amplify_heavy_frames(SessionCapture cap, Time threshold,
+                                    double factor);
+
+/**
+ * Densify the touch stream of every interaction segment over the
+ * segment-relative window [at, at + duration): insert one interpolated
+ * kMove sample every @p spacing where the recorded gesture has a gap,
+ * modeling an input burst riding on the captured gesture.
+ */
+SessionCapture splice_input_burst(SessionCapture cap, Time at,
+                                  Time duration, Time spacing);
+
+/**
+ * Keep only the first @p keep of the scripted session: later segments
+ * are dropped, the segment straddling the cut is trimmed (interaction
+ * segments keep the touch prefix; one that loses its whole stream is
+ * dropped). Fault windows past the cut go with them.
+ */
+SessionCapture truncate_capture(SessionCapture cap, Time keep);
+
+/**
+ * Repeat the scenario's segment list @p times times (>= 1), turning a
+ * short capture into a soak. Fault windows stay where they were
+ * recorded (absolute time), so only the first iteration is faulted.
+ */
+SessionCapture loop_capture(SessionCapture cap, int times);
+
+} // namespace dvs
+
+#endif // DVS_TRACE_TRANSFORMS_H

@@ -36,6 +36,8 @@ struct FrameCost {
     Time gpu_time = 0;    ///< GPU execution after command submission
 
     Time total() const { return ui_time + render_time + gpu_time; }
+
+    friend bool operator==(const FrameCost &, const FrameCost &) = default;
 };
 
 /**

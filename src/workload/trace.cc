@@ -1,5 +1,6 @@
 #include "workload/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -36,6 +37,11 @@ FrameTrace::from_csv(const std::string &csv)
     bool warned_missing_header = false;
     while (std::getline(in, line)) {
         ++line_no;
+        // Tolerate CRLF line endings: getline keeps the '\r' of a
+        // Windows-saved trace, which would otherwise turn every line —
+        // including the trailing blank one — into a "malformed row".
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
         if (line.empty())
             continue;
         if (line.rfind("# trace: ", 0) == 0) {
@@ -93,7 +99,8 @@ FrameTrace::load(const std::string &path)
     return from_csv(buf.str());
 }
 
-TraceCostModel::TraceCostModel(FrameTrace trace) : trace_(std::move(trace))
+TraceCostModel::TraceCostModel(FrameTrace trace, TraceIndexMode mode)
+    : trace_(std::move(trace)), mode_(mode)
 {
     if (trace_.frames.empty())
         fatal("TraceCostModel needs a non-empty trace");
@@ -103,6 +110,12 @@ FrameCost
 TraceCostModel::cost_for(std::int64_t nominal_index) const
 {
     const std::size_t n = trace_.frames.size();
+    if (mode_ == TraceIndexMode::kSegmentSlot) {
+        const std::int64_t slot = nominal_index % kCostIndexStride;
+        const std::size_t i =
+            std::min(std::size_t(slot), n - 1); // clamp past the capture
+        return trace_.frames[i];
+    }
     const std::size_t i = std::size_t(nominal_index % std::int64_t(n));
     return trace_.frames[i];
 }

@@ -41,20 +41,45 @@ struct FrameTrace {
 };
 
 /**
- * Cost model that replays a trace. Indices beyond the end wrap around,
- * so a short capture can drive an arbitrarily long simulation.
+ * How a TraceCostModel maps nominal frame indices onto trace entries.
+ */
+enum class TraceIndexMode {
+    /**
+     * Raw index modulo trace length: a short capture loops to drive an
+     * arbitrarily long simulation (the §6.1 game-trace methodology).
+     */
+    kWrap,
+
+    /**
+     * Segment-slot mapping for session replay: the producer queries
+     * segment i's slot s at index s + i * kCostIndexStride, so the slot
+     * is recovered as index % kCostIndexStride and indexes the trace
+     * directly (clamped to the last entry past the end). One recorded
+     * per-segment table then replays bit-exactly at its recorded slots
+     * regardless of which segment of the scenario it serves.
+     */
+    kSegmentSlot,
+};
+
+/**
+ * Cost model that replays a trace — the unified replay path for both the
+ * looping game-trace methodology (kWrap) and the trace record-and-replay
+ * subsystem's per-segment capture tables (kSegmentSlot, see src/trace/).
  */
 class TraceCostModel : public FrameCostModel
 {
   public:
-    explicit TraceCostModel(FrameTrace trace);
+    explicit TraceCostModel(FrameTrace trace,
+                            TraceIndexMode mode = TraceIndexMode::kWrap);
 
     FrameCost cost_for(std::int64_t nominal_index) const override;
 
     const FrameTrace &trace() const { return trace_; }
+    TraceIndexMode index_mode() const { return mode_; }
 
   private:
     FrameTrace trace_;
+    TraceIndexMode mode_;
 };
 
 } // namespace dvs

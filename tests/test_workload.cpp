@@ -217,6 +217,52 @@ TEST(Trace, ReplayWrapsAround)
     EXPECT_EQ(m.cost_for(3000002).ui_time, 3_ms);
 }
 
+TEST(Trace, CrlfLineEndingsParseWithoutWarnings)
+{
+    // A Windows-saved trace: every line, including the last, ends \r\n.
+    ::testing::internal::CaptureStderr();
+    const FrameTrace t = FrameTrace::from_csv(
+        "# trace: crlf\r\n# rate_hz: 120\r\nui_us,render_us,gpu_us\r\n"
+        "1.0,2.0,3.0\r\n4.0,5.0,6.0\r\n");
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(err, "") << "spurious warning: " << err;
+    EXPECT_EQ(t.name, "crlf");
+    EXPECT_DOUBLE_EQ(t.rate_hz, 120.0);
+    ASSERT_EQ(t.frames.size(), 2u);
+    EXPECT_EQ(t.frames[0].ui_time, 1_us);
+    EXPECT_EQ(t.frames[1].gpu_time, 6_us);
+}
+
+TEST(Trace, TrailingNewlineParsesWithoutWarnings)
+{
+    // Both a trailing '\n' and a trailing "\r\n" leave a final blank line
+    // that must not be diagnosed as a malformed row.
+    ::testing::internal::CaptureStderr();
+    const FrameTrace lf =
+        FrameTrace::from_csv("ui_us,render_us\n1.0,2.0\n\n");
+    const FrameTrace crlf =
+        FrameTrace::from_csv("ui_us,render_us\r\n1.0,2.0\r\n\r\n");
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(err, "") << "spurious warning: " << err;
+    EXPECT_EQ(lf.frames.size(), 1u);
+    EXPECT_EQ(crlf.frames.size(), 1u);
+}
+
+TEST(Trace, SegmentSlotModeMapsSlotAndClamps)
+{
+    FrameTrace t;
+    t.frames = {{1_ms, 0}, {2_ms, 0}, {3_ms, 0}};
+    TraceCostModel m(std::move(t), TraceIndexMode::kSegmentSlot);
+    EXPECT_EQ(m.index_mode(), TraceIndexMode::kSegmentSlot);
+    // Slot is recovered modulo the per-segment stride, so segment 2's
+    // slot 1 (index 1 + 2 * stride) reads entry 1 — no wraparound.
+    EXPECT_EQ(m.cost_for(0).ui_time, 1_ms);
+    EXPECT_EQ(m.cost_for(1 + 2 * kCostIndexStride).ui_time, 2_ms);
+    // Past the end of the capture the last entry is held, not wrapped.
+    EXPECT_EQ(m.cost_for(7).ui_time, 3_ms);
+    EXPECT_EQ(m.cost_for(500 + kCostIndexStride).ui_time, 3_ms);
+}
+
 // ----- scenarios ---------------------------------------------------------------
 
 TEST(Scenario, BuilderAccumulatesSegments)
