@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -170,6 +171,113 @@ ArgParser::finish()
         fatal("%s: unexpected argument '%s'", prog_.c_str(),
               a.value.c_str());
     }
+}
+
+const std::string &
+git_describe()
+{
+    static const std::string desc = [] {
+        std::string out = "unknown";
+        FILE *p = ::popen("git describe --always --dirty 2>/dev/null", "r");
+        if (!p)
+            return out;
+        char buf[128];
+        std::string raw;
+        while (std::fgets(buf, sizeof(buf), p))
+            raw += buf;
+        if (::pclose(p) == 0) {
+            while (!raw.empty() &&
+                   (raw.back() == '\n' || raw.back() == '\r'))
+                raw.pop_back();
+            if (!raw.empty())
+                out = raw;
+        }
+        return out;
+    }();
+    return desc;
+}
+
+BenchJson::BenchJson(const std::string &bench_name)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"schema_version\": %d,\n  \"bench\": \"%s\",\n"
+                  "  \"git\": \"%s\"",
+                  kSchemaVersion, bench_name.c_str(),
+                  git_describe().c_str());
+    body_ = buf;
+}
+
+void
+BenchJson::key(const char *name)
+{
+    body_ += ",\n  \"";
+    body_ += name;
+    body_ += "\": ";
+}
+
+void
+BenchJson::u64(const char *name, std::uint64_t value)
+{
+    key(name);
+    body_ += std::to_string((unsigned long long)value);
+}
+
+void
+BenchJson::i64(const char *name, std::int64_t value)
+{
+    key(name);
+    body_ += std::to_string((long long)value);
+}
+
+void
+BenchJson::num(const char *name, double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    key(name);
+    body_ += buf;
+}
+
+void
+BenchJson::str(const char *name, const std::string &value)
+{
+    key(name);
+    body_ += "\"" + value + "\"";
+}
+
+void
+BenchJson::boolean(const char *name, bool value)
+{
+    key(name);
+    body_ += value ? "true" : "false";
+}
+
+void
+BenchJson::raw(const char *name, const std::string &json)
+{
+    key(name);
+    body_ += json;
+}
+
+std::string
+BenchJson::to_string() const
+{
+    return "{\n" + body_ + "\n}\n";
+}
+
+void
+BenchJson::write(const std::string &path) const
+{
+    if (path.empty() || path == "-")
+        return;
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot write %s", path.c_str());
+    const std::string text = to_string();
+    std::fwrite(text.data(), 1, text.size(), f);
+    if (std::fclose(f) != 0)
+        fatal("cannot write %s", path.c_str());
 }
 
 RunReport

@@ -135,6 +135,54 @@ class ArgParser
     std::vector<Arg> args_;
 };
 
+/**
+ * Uniform BENCH_*.json emitter. Every bench record opens with the same
+ * provenance stamp — `schema_version`, the bench name, and the
+ * `git describe` string of the working tree — then appends fields in
+ * call order, so downstream tooling can parse any record the same way
+ * instead of each campaign hand-rolling its JSON.
+ *
+ *   BenchJson record("megafleet_campaign");
+ *   record.u64("sessions", agg.sessions());
+ *   record.num("wall_s", wall_s, 3);
+ *   record.write(out_path); // "-" suppresses the file
+ */
+class BenchJson
+{
+  public:
+    /** Schema stamped into every record. */
+    static constexpr int kSchemaVersion = 2;
+
+    explicit BenchJson(const std::string &bench_name);
+
+    void u64(const char *name, std::uint64_t value);
+    void i64(const char *name, std::int64_t value);
+    /** Fixed-point double with @p decimals digits. */
+    void num(const char *name, double value, int decimals);
+    void str(const char *name, const std::string &value);
+    void boolean(const char *name, bool value);
+    /** Pre-formatted JSON value (nested arrays/objects). */
+    void raw(const char *name, const std::string &json);
+
+    std::string to_string() const;
+
+    /** Write the record to @p path; "-" (or empty) is a silent no-op.
+     *  fatal() on I/O failure. Callers print their own "written to"
+     *  note, keeping every bench's existing output byte-stable. */
+    void write(const std::string &path) const;
+
+  private:
+    void key(const char *name);
+
+    std::string body_;
+};
+
+/**
+ * `git describe --always --dirty` of the working tree, cached after the
+ * first call; "unknown" when git or the repo is unavailable.
+ */
+const std::string &git_describe();
+
 /** Run one configuration once and summarize. */
 RunReport run_system(const SystemConfig &config, const Scenario &scenario);
 

@@ -29,6 +29,12 @@
  *                modes as replayable .dvst captures (BASE.vsync.dvst +
  *                BASE.dvsync.dvst — feed them to trace_campaign) and
  *                exit without running the campaign grid
+ *   --observatory  tee the stream into the SLO/anomaly observatory
+ *                (cohorts = "mix/mode" cells) and print its summary
+ *   --top-k=N    observatory offender ranking depth (default 8)
+ *   --specimens=DIR  re-simulate the observatory's top-K offenders into
+ *                DIR as verified .dvst specimens + manifest.json
+ *                (needs --observatory)
  *
  * Exits nonzero when any run violates an invariant, fails, or drops a
  * frame the classifier cannot attribute to a cause.
@@ -38,11 +44,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "fault/fault_plan.h"
+#include "obs/observatory.h"
 #include "sim/logging.h"
 #include "trace/session_recorder.h"
 #include "workload/frame_cost.h"
@@ -91,7 +99,12 @@ main(int argc, char **argv)
     const std::string record_base = args.string_flag("record");
     const int jobs = args.jobs();
     const int sim_workers = args.int_flag("sim-workers", 0);
+    const bool observatory_on = args.bool_flag("observatory");
+    const int top_k = args.int_flag("top-k", 8);
+    const std::string specimens_dir = args.string_flag("specimens");
     args.finish();
+    if (!specimens_dir.empty() && !observatory_on)
+        fatal("--specimens needs --observatory");
     if (seeds < 1)
         fatal("--seeds must be >= 1");
     if (sim_workers < 0)
@@ -200,8 +213,25 @@ main(int argc, char **argv)
         if (golden)
             std::printf("%s\n", r.debug_string().c_str());
     });
+
+    // The observatory keys cohorts by (mix, mode) cell — the label
+    // minus its "/seedN" tail — so burn rates compare cells, not
+    // individual seeds.
+    ObservatoryConfig obs_config;
+    obs_config.top_k = top_k;
+    std::optional<Observatory> obs;
+    if (observatory_on)
+        obs.emplace(obs_config, [](const RunReport &r) {
+            return r.label.substr(0, r.label.rfind('/'));
+        });
+
     const ExperimentRunner runner(jobs);
-    runner.run_stream(points, sink);
+    if (obs) {
+        TeeSink tee({&sink, &*obs});
+        runner.run_stream(points, tee);
+    } else {
+        runner.run_stream(points, sink);
+    }
 
     std::uint64_t total_violations = 0;
     int total_errors = 0;
@@ -239,6 +269,21 @@ main(int argc, char **argv)
     std::printf("\ntotal: %llu violations, %d failed runs\n",
                 (unsigned long long)total_violations, total_errors);
 
+    if (obs) {
+        std::fputs(obs->summary().c_str(), stdout);
+        if (!specimens_dir.empty()) {
+            std::string error;
+            if (!capture_specimens(
+                    obs.value(),
+                    [&](std::uint64_t session) { return points[session]; },
+                    specimens_dir, &error))
+                fatal("specimen capture failed: %s", error.c_str());
+            std::fprintf(stderr,
+                         "observatory: %zu specimens written to %s\n",
+                         obs->top().size(), specimens_dir.c_str());
+        }
+    }
+
     if (!forensics_path.empty()) {
         // The canonical forensics specimen: the everything mix under
         // D-VSync at seed 1, with the metrics sampler on.
@@ -268,23 +313,17 @@ main(int argc, char **argv)
     }
 
     if (out_path != "-") {
-        FILE *f = std::fopen(out_path.c_str(), "w");
-        if (!f)
-            fatal("cannot write %s", out_path.c_str());
-        std::fprintf(f,
-                     "{\n"
-                     "  \"bench\": \"chaos_campaign\",\n"
-                     "  \"seeds\": %d,\n"
-                     "  \"runs\": %zu,\n"
-                     "  \"total_violations\": %llu,\n"
-                     "  \"failed_runs\": %d,\n"
-                     "  \"cells\": [\n",
-                     seeds, points.size(),
-                     (unsigned long long)total_violations, total_errors);
+        BenchJson record("chaos_campaign");
+        record.i64("seeds", seeds);
+        record.u64("runs", points.size());
+        record.u64("total_violations", total_violations);
+        record.i64("failed_runs", total_errors);
+        std::string cell_json = "[\n";
         for (std::size_t i = 0; i < cells.size(); ++i) {
             const Cell &c = cells[i];
-            std::fprintf(
-                f,
+            char line[512];
+            std::snprintf(
+                line, sizeof(line),
                 "    {\"mix\": \"%s\", \"mode\": \"%s\", \"runs\": %d, "
                 "\"violations\": %llu, \"faults\": %llu, "
                 "\"presents\": %llu, \"drops\": %llu, "
@@ -298,9 +337,11 @@ main(int argc, char **argv)
                 (unsigned long long)c.degradations,
                 (unsigned long long)c.repromotions, c.errors,
                 i + 1 < cells.size() ? "," : "");
+            cell_json += line;
         }
-        std::fprintf(f, "  ]\n}\n");
-        std::fclose(f);
+        cell_json += "  ]";
+        record.raw("cells", cell_json);
+        record.write(out_path);
         std::printf("chaos record written to %s\n", out_path.c_str());
     }
 

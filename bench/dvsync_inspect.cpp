@@ -11,6 +11,8 @@
  *
  * Usage: dvsync_inspect DUMP.json [--top=K] [--golden]
  *        dvsync_inspect --diff A.json B.json [--top=K]
+ *        dvsync_inspect --metrics=DUMP.json
+ *        dvsync_inspect --specimens=DIR
  *   --top=K    how many worst frames / drops to detail (default 5)
  *   --golden   golden-check mode; output is already deterministic, the
  *              flag only asserts no environment-dependent lines sneak in
@@ -19,11 +21,20 @@
  *              drop deltas, frames whose presentation fate flipped, and
  *              the frames whose latency diverged most, with both causal
  *              chains printed side by side
+ *   --metrics  dump the MetricsRegistry time series embedded in a
+ *              forensics dump as CSV on stdout: one `t_ns` column plus
+ *              one column per counter/gauge series, rows over the union
+ *              of sample timestamps (histograms have no time axis and
+ *              are skipped)
+ *   --specimens list an observatory specimen directory: parse its
+ *              manifest.json, print each captured offender (rank,
+ *              session, score, cohort, violated SLOs, drop causes), and
+ *              verify every listed .dvst file is present on disk
  *
- * Exits nonzero when a dump cannot be read or parsed, or (single-dump
- * mode) when any drop in it carries an unknown cause — a fully wired
- * system must attribute every drop, so an unknown-cause dump is a
- * regression.
+ * Exits nonzero when a dump cannot be read or parsed, when a specimen
+ * manifest references a missing .dvst file, or (single-dump mode) when
+ * any drop in it carries an unknown cause — a fully wired system must
+ * attribute every drop, so an unknown-cause dump is a regression.
  */
 
 #include <algorithm>
@@ -296,6 +307,153 @@ run_diff(const std::string &path_a, const std::string &path_b, int top)
     return 0;
 }
 
+/** `--metrics=DUMP.json`: the registry time series as CSV on stdout. */
+int
+run_metrics_csv(const std::string &path)
+{
+    const JsonValue dump = load_dump(path);
+    const JsonValue &metrics = dump.at("metrics");
+    if (!metrics.is_object()) {
+        std::fprintf(stderr, "dvsync_inspect: %s carries no metrics block\n",
+                     path.c_str());
+        return 1;
+    }
+
+    // Counter/gauge series only: histograms are distributions, not time
+    // series, so they have no row in a timestamp-keyed table.
+    struct Series {
+        const JsonValue *metric = nullptr;
+        std::map<long long, double> by_time;
+    };
+    std::vector<Series> series;
+    std::map<long long, std::size_t> times; // timestamp -> row ordinal
+    for (const JsonValue &m : metrics.at("metrics").items()) {
+        if (m.string_at("type") == "histogram")
+            continue;
+        Series s;
+        s.metric = &m;
+        for (const JsonValue &sample : m.at("samples").items()) {
+            const std::vector<JsonValue> &pair = sample.items();
+            if (pair.size() != 2)
+                continue;
+            const long long t = (long long)pair[0].as_number();
+            s.by_time[t] = pair[1].as_number();
+            times.emplace(t, 0);
+        }
+        series.push_back(std::move(s));
+    }
+
+    std::printf("t_ns");
+    for (const Series &s : series)
+        std::printf(",%s", s.metric->string_at("name").c_str());
+    std::printf("\n");
+    for (const auto &[t, unused] : times) {
+        (void)unused;
+        std::printf("%lld", t);
+        for (const Series &s : series) {
+            const auto it = s.by_time.find(t);
+            if (it == s.by_time.end())
+                std::printf(",");
+            else
+                std::printf(",%.10g", it->second);
+        }
+        std::printf("\n");
+    }
+    std::fprintf(stderr, "dvsync_inspect: %zu series, %zu rows\n",
+                 series.size(), times.size());
+    return 0;
+}
+
+/** `--specimens=DIR`: list an observatory capture directory. */
+int
+run_specimens(const std::string &dir)
+{
+    const std::string manifest_path = dir + "/manifest.json";
+    std::ifstream in(manifest_path);
+    if (!in) {
+        std::fprintf(stderr, "dvsync_inspect: cannot open %s\n",
+                     manifest_path.c_str());
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    const JsonValue manifest = JsonValue::parse(text.str(), &error);
+    if (manifest.is_null()) {
+        std::fprintf(stderr, "dvsync_inspect: parse error in %s: %s\n",
+                     manifest_path.c_str(), error.c_str());
+        return 1;
+    }
+    if (manifest.string_at("source") != "dvsync-observatory") {
+        std::fprintf(stderr,
+                     "dvsync_inspect: %s is not an observatory manifest "
+                     "(source=%s)\n",
+                     manifest_path.c_str(),
+                     manifest.string_at("source", "?").c_str());
+        return 1;
+    }
+
+    const std::vector<JsonValue> &specimens =
+        manifest.at("specimens").items();
+    std::printf("observatory specimens: %s (%zu captured, schema %lld)\n",
+                dir.c_str(), specimens.size(),
+                (long long)manifest.number_at("schema"));
+
+    int missing = 0;
+    for (const JsonValue &sp : specimens) {
+        const std::string file = sp.string_at("file");
+        const std::string path = dir + "/" + file;
+        std::ifstream probe(path, std::ios::binary);
+        const bool present = bool(probe);
+        if (!present)
+            ++missing;
+
+        std::string slos;
+        for (const JsonValue &name : sp.at("slos").items()) {
+            if (!slos.empty())
+                slos += ", ";
+            slos += name.as_string();
+        }
+        std::printf("  #%lld session %llu  score %.3f  cohort %s%s\n",
+                    (long long)sp.number_at("rank"),
+                    (unsigned long long)sp.number_at("session"),
+                    sp.number_at("score_milli") / 1000.0,
+                    sp.string_at("cohort", "?").c_str(),
+                    present ? "" : "  [MISSING FILE]");
+        std::printf("      file %s  slos [%s]  drops %llu/%lld  "
+                    "stutters %llu  p99 %.2fms\n",
+                    file.c_str(), slos.c_str(),
+                    (unsigned long long)sp.number_at("drops"),
+                    (long long)sp.number_at("frames_due"),
+                    (unsigned long long)sp.number_at("stutters"),
+                    sp.number_at("latency_p99_ms"));
+        const JsonValue &causes = sp.at("drop_causes");
+        if (causes.is_object()) {
+            std::string breakdown;
+            char buf[64];
+            for (int c = 0; c < kDropCauseCount; ++c) {
+                const char *name = to_string(DropCause(c));
+                if (!causes.has(name))
+                    continue;
+                std::snprintf(buf, sizeof(buf), "%s%s %llu",
+                              breakdown.empty() ? "" : ", ", name,
+                              (unsigned long long)causes.number_at(name));
+                breakdown += buf;
+            }
+            if (!breakdown.empty())
+                std::printf("      drop causes: %s\n", breakdown.c_str());
+        }
+    }
+    if (missing > 0) {
+        std::fprintf(stderr,
+                     "dvsync_inspect: %d specimen file(s) listed in %s "
+                     "are missing on disk\n",
+                     missing, manifest_path.c_str());
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -305,16 +463,29 @@ main(int argc, char **argv)
     const int top = args.int_flag("top", 5);
     args.bool_flag("golden"); // output is deterministic either way
     const bool diff = args.bool_flag("diff");
-    const std::vector<std::string> paths = args.positional(diff ? 2 : 1);
+    const std::string metrics_path = args.string_flag("metrics");
+    const std::string specimens_dir = args.string_flag("specimens");
+    const bool standalone = !metrics_path.empty() || !specimens_dir.empty();
+    const std::vector<std::string> paths =
+        standalone ? std::vector<std::string>()
+                   : args.positional(diff ? 2 : 1);
     args.finish();
-    if (top < 1 || paths.size() != (diff ? 2u : 1u)) {
+    if (top < 1 || (!standalone && paths.size() != (diff ? 2u : 1u)) ||
+        (standalone && diff) ||
+        (!metrics_path.empty() && !specimens_dir.empty())) {
         std::fprintf(stderr,
                      "usage: dvsync_inspect DUMP.json [--top=K] "
                      "[--golden]\n"
                      "       dvsync_inspect --diff A.json B.json "
-                     "[--top=K]\n");
+                     "[--top=K]\n"
+                     "       dvsync_inspect --metrics=DUMP.json\n"
+                     "       dvsync_inspect --specimens=DIR\n");
         return 2;
     }
+    if (!metrics_path.empty())
+        return run_metrics_csv(metrics_path);
+    if (!specimens_dir.empty())
+        return run_specimens(specimens_dir);
     if (diff)
         return run_diff(paths[0], paths[1], top);
     const std::string path = paths.front();

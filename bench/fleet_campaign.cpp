@@ -330,31 +330,23 @@ main(int argc, char **argv)
                     runner.jobs());
 
     if (out_path != "-") {
-        FILE *f = std::fopen(out_path.c_str(), "w");
-        if (!f)
-            fatal("cannot write %s", out_path.c_str());
-        std::fprintf(f,
-                     "{\n"
-                     "  \"bench\": \"fleet_campaign\",\n"
-                     "  \"seeds\": %d,\n"
-                     "  \"sessions\": %zu,\n"
-                     "  \"total_violations\": %llu,\n"
-                     "  \"failed_runs\": %d,\n"
-                     "  \"constrained_drops_weighted\": %llu,\n"
-                     "  \"constrained_drops_equal_split\": %llu,\n"
-                     "  \"wall_seconds\": %.3f,\n"
-                     "  \"throughput_sessions_per_sec\": %.1f,\n"
-                     "  \"jobs\": %d,\n"
-                     "  \"cells\": [\n",
-                     seeds, tasks.size(),
-                     (unsigned long long)total_violations, total_errors,
-                     (unsigned long long)constrained_weighted,
-                     (unsigned long long)constrained_equal, wall_s,
-                     double(tasks.size()) / wall_s, runner.jobs());
+        bench::BenchJson record("fleet_campaign");
+        record.i64("seeds", seeds);
+        record.u64("sessions", tasks.size());
+        record.u64("total_violations", total_violations);
+        record.i64("failed_runs", total_errors);
+        record.u64("constrained_drops_weighted", constrained_weighted);
+        record.u64("constrained_drops_equal_split", constrained_equal);
+        record.num("wall_seconds", wall_s, 3);
+        record.num("throughput_sessions_per_sec",
+                   double(tasks.size()) / wall_s, 1);
+        record.i64("jobs", runner.jobs());
+        std::string cell_json = "[\n";
+        char buf[512];
         for (std::size_t i = 0; i < cells.size(); ++i) {
             const Cell &c = cells[i];
-            std::fprintf(
-                f,
+            std::snprintf(
+                buf, sizeof(buf),
                 "    {\"surfaces\": %d, \"budget_mb\": %.0f, "
                 "\"policy\": \"%s\", \"runs\": %d, \"violations\": %llu, "
                 "\"drops\": %llu, \"presents\": %llu, "
@@ -367,21 +359,25 @@ main(int argc, char **argv)
                 (unsigned long long)c.degradations,
                 (unsigned long long)c.rearbitrations, c.peak_used_mb,
                 c.fdps_sum / double(c.runs), c.errors);
+            cell_json += buf;
             for (std::size_t j = 0; j < c.surfaces.size(); ++j) {
                 const SurfaceAgg &agg = c.surfaces[j];
-                std::fprintf(f,
-                             "{\"name\": \"%s\", \"drops\": %llu, "
-                             "\"due\": %llu, \"fdps\": %.4f}%s",
-                             agg.name.c_str(),
-                             (unsigned long long)agg.drops,
-                             (unsigned long long)agg.due,
-                             agg.fdps_sum / double(c.runs),
-                             j + 1 < c.surfaces.size() ? ", " : "");
+                std::snprintf(buf, sizeof(buf),
+                              "{\"name\": \"%s\", \"drops\": %llu, "
+                              "\"due\": %llu, \"fdps\": %.4f}%s",
+                              agg.name.c_str(),
+                              (unsigned long long)agg.drops,
+                              (unsigned long long)agg.due,
+                              agg.fdps_sum / double(c.runs),
+                              j + 1 < c.surfaces.size() ? ", " : "");
+                cell_json += buf;
             }
-            std::fprintf(f, "]}%s\n", i + 1 < cells.size() ? "," : "");
+            cell_json += "]}";
+            cell_json += i + 1 < cells.size() ? ",\n" : "\n";
         }
-        std::fprintf(f, "  ]\n}\n");
-        std::fclose(f);
+        cell_json += "  ]";
+        record.raw("cells", cell_json);
+        record.write(out_path);
         std::printf("fleet record written to %s\n", out_path.c_str());
     }
 

@@ -446,31 +446,24 @@ main(int argc, char **argv)
                 (unsigned long long)chaos_violations, total_errors);
 
     if (out_path != "-") {
-        FILE *f = std::fopen(out_path.c_str(), "w");
-        if (!f)
-            fatal("cannot write %s", out_path.c_str());
-        std::fprintf(f,
-                     "{\n"
-                     "  \"bench\": \"governor_campaign\",\n"
-                     "  \"seeds\": %d,\n"
-                     "  \"runs\": %zu,\n"
-                     "  \"total_violations\": %llu,\n"
-                     "  \"chaos_violations\": %llu,\n"
-                     "  \"failed_runs\": %d,\n"
-                     "  \"governor_wins_constrained\": %s,\n"
-                     "  \"cells\": [\n",
-                     seeds, points.size(),
-                     (unsigned long long)total_violations,
-                     (unsigned long long)chaos_violations, total_errors,
-                     governor_wins_constrained ? "true" : "false");
+        bench::BenchJson record("governor_campaign");
+        record.i64("seeds", seeds);
+        record.u64("runs", points.size());
+        record.u64("total_violations", total_violations);
+        record.u64("chaos_violations", chaos_violations);
+        record.i64("failed_runs", total_errors);
+        record.boolean("governor_wins_constrained",
+                       governor_wins_constrained);
+        std::string cell_json = "[\n";
+        char jbuf[512];
         for (std::size_t i = 0; i < cells.size(); ++i) {
             const Cell &c = cells[i];
             const double eps =
                 i < chaos_cell0
                     ? eps_mj(cells[(i / kPolicies) * kPolicies], c)
                     : std::nan("");
-            std::fprintf(
-                f,
+            std::snprintf(
+                jbuf, sizeof(jbuf),
                 "    {\"tier\": \"%s\", \"envelope\": \"%s\", "
                 "\"policy\": \"%s\", \"runs\": %d, "
                 "\"energy_mj\": %.3f, \"stutters\": %llu, "
@@ -490,9 +483,11 @@ main(int argc, char **argv)
                 std::isnan(eps) ? "null"
                                 : fmt_or_na(eps, "%.3f").c_str(),
                 c.errors, i + 1 < cells.size() ? "," : "");
+            cell_json += jbuf;
         }
-        std::fprintf(f, "  ]\n}\n");
-        std::fclose(f);
+        cell_json += "  ]";
+        record.raw("cells", cell_json);
+        record.write(out_path);
         std::printf("governor record written to %s\n", out_path.c_str());
     }
 

@@ -12,11 +12,20 @@
  * 10k or 1M sessions, which is the property that makes fleet-scale
  * sweeps possible at all.
  *
+ * With --observatory the same stream is teed into an Observatory
+ * (src/obs/observatory.h): per-cohort SLO burn-rate monitors plus a
+ * mergeable top-K anomaly ranking, checkpointed alongside the
+ * aggregator (`<checkpoint>.obs`) under the same shard/resume/merge
+ * determinism contract. --specimens=DIR then re-simulates the final
+ * top-K offenders and writes verified bit-exact .dvst captures plus a
+ * manifest — the tail of a million-session campaign, in replayable form.
+ *
  * Usage: megafleet_campaign [--sessions=N] [--shard=K/N] [--jobs=N]
  *                           [--seed=N] [--checkpoint=PATH] [--resume]
  *                           [--checkpoint-every=N] [--merge PATHS...]
  *                           [--out=PATH] [--rss-limit-mb=N] [--golden]
- *                           [--sim-workers=N]
+ *                           [--sim-workers=N] [--observatory]
+ *                           [--top-k=N] [--specimens=DIR]
  *   --sessions=N     campaign size (default 1000000)
  *   --sim-workers=N  parallel lane-dispatch workers inside each session
  *                    (default 0 = serial; reports are byte-identical
@@ -25,13 +34,22 @@
  *                    mod N; the aggregator checkpoints of all N shards
  *                    merge to the byte-exact unsharded state
  *   --seed=N         population seed (default 1)
- *   --checkpoint=PATH  write the aggregator checkpoint JSON here
+ *   --checkpoint=PATH  write the aggregator checkpoint JSON here (the
+ *                    observatory checkpoint goes to PATH.obs)
  *   --resume         load --checkpoint first and skip the sessions it
  *                    already covers (its in-order watermark)
  *   --checkpoint-every=N  additionally save every N consumed sessions
  *   --merge          merge mode: load the positional checkpoint paths,
  *                    fold them together, print the merged summary
- *                    (saving to --checkpoint when given), run nothing
+ *                    (saving to --checkpoint when given), run nothing;
+ *                    with --observatory each PATH.obs is merged too
+ *   --observatory    tee the stream into the SLO/anomaly observatory
+ *                    and print its summary after the aggregator's
+ *   --top-k=N        observatory offender ranking depth (default 8)
+ *   --specimens=DIR  after an unsharded run or a merge, re-simulate the
+ *                    top-K offenders into DIR as verified .dvst
+ *                    specimens + manifest.json (needs --observatory;
+ *                    pass the same --seed/--sim-workers as the shards)
  *   --out=PATH       JSON bench record (default BENCH_megafleet.json;
  *                    "-" suppresses the file)
  *   --rss-limit-mb=N fail if peak RSS exceeds N MB (default 1024)
@@ -39,18 +57,21 @@
  *                    check (summary only: no timing, no RSS)
  *
  * Exits nonzero when any session fails, violates an invariant, drops a
- * frame without an attributed cause, or the RSS bound is exceeded.
+ * frame without an attributed cause, exceeds the RSS bound, or fails
+ * specimen capture/verification.
  */
 
 #include <sys/resource.h>
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "harness/aggregator.h"
+#include "obs/observatory.h"
 #include "sim/logging.h"
 #include "workload/device_population.h"
 
@@ -71,9 +92,29 @@ peak_rss_mb()
     return double(usage.ru_maxrss) / 1024.0;
 }
 
+/** Write the offender specimens; exits the process on failure. */
+void
+write_specimens(const Observatory &obs, const DevicePopulation &fleet,
+                int sim_workers, const std::string &dir)
+{
+    std::string error;
+    if (!capture_specimens(
+            obs,
+            [&](std::uint64_t session) {
+                return fleet.experiment(session, sim_workers);
+            },
+            dir, &error))
+        fatal("specimen capture failed: %s", error.c_str());
+    std::fprintf(stderr, "observatory: %zu specimens written to %s\n",
+                 obs.top().size(), dir.c_str());
+}
+
 int
 merge_checkpoints(const std::vector<std::string> &paths,
-                  const std::string &checkpoint_path)
+                  const std::string &checkpoint_path,
+                  std::optional<Observatory> &obs,
+                  const DevicePopulation &fleet, int sim_workers,
+                  const std::string &specimens_dir)
 {
     if (paths.empty())
         fatal("--merge needs checkpoint paths as positional arguments");
@@ -87,9 +128,30 @@ merge_checkpoints(const std::vector<std::string> &paths,
             fatal("cannot load %s: %s", paths[i].c_str(), error.c_str());
         merged.merge(shard);
     }
-    if (!checkpoint_path.empty() && !merged.save(checkpoint_path))
-        fatal("cannot write %s", checkpoint_path.c_str());
+    if (obs) {
+        if (!obs->load(paths.front() + ".obs", &error))
+            fatal("cannot load %s.obs: %s", paths.front().c_str(),
+                  error.c_str());
+        for (std::size_t i = 1; i < paths.size(); ++i) {
+            Observatory shard(obs->config());
+            if (!shard.load(paths[i] + ".obs", &error))
+                fatal("cannot load %s.obs: %s", paths[i].c_str(),
+                      error.c_str());
+            obs->merge(shard);
+        }
+    }
+    if (!checkpoint_path.empty()) {
+        if (!merged.save(checkpoint_path))
+            fatal("cannot write %s", checkpoint_path.c_str());
+        if (obs && !obs->save(checkpoint_path + ".obs"))
+            fatal("cannot write %s.obs", checkpoint_path.c_str());
+    }
     std::fputs(merged.summary().c_str(), stdout);
+    if (obs) {
+        std::fputs(obs->summary().c_str(), stdout);
+        if (!specimens_dir.empty())
+            write_specimens(*obs, fleet, sim_workers, specimens_dir);
+    }
     return 0;
 }
 
@@ -115,20 +177,36 @@ main(int argc, char **argv)
     const double rss_limit_mb = args.double_flag("rss-limit-mb", 1024.0);
     const int jobs = args.jobs();
     const int sim_workers = args.int_flag("sim-workers", 0);
+    const bool observatory_on = args.bool_flag("observatory");
+    const int top_k = args.int_flag("top-k", 8);
+    const std::string specimens_dir = args.string_flag("specimens");
     const std::vector<std::string> merge_paths =
         merge ? args.positional(1024) : std::vector<std::string>{};
     args.finish();
 
-    if (merge)
-        return merge_checkpoints(merge_paths, checkpoint_path);
+    if (!specimens_dir.empty() && !observatory_on)
+        fatal("--specimens needs --observatory");
+
+    const DevicePopulation fleet = DevicePopulation::paper_fleet(seed);
+    ObservatoryConfig obs_config;
+    obs_config.top_k = top_k;
+
+    if (merge) {
+        std::optional<Observatory> obs;
+        if (observatory_on)
+            obs.emplace(obs_config);
+        return merge_checkpoints(merge_paths, checkpoint_path, obs, fleet,
+                                 sim_workers, specimens_dir);
+    }
     if (sessions < 1)
         fatal("--sessions must be >= 1");
     if (resume && checkpoint_path.empty())
         fatal("--resume needs --checkpoint=PATH");
     if (sim_workers < 0)
         fatal("--sim-workers must be >= 0");
-
-    const DevicePopulation fleet = DevicePopulation::paper_fleet(seed);
+    if (!specimens_dir.empty() && shard.count > 1)
+        fatal("--specimens on a shard would capture a shard-local top-K; "
+              "merge the shard checkpoints first");
 
     // The aggregator keys cohorts by report label, which the population
     // sets to "<tier>/<mode>" — six cohorts, each with its twin.
@@ -150,36 +228,64 @@ main(int argc, char **argv)
               (unsigned long long)shard_sessions);
     const std::uint64_t todo = shard_sessions - done;
 
+    // The observatory rides the same stream; its verdicts carry *global*
+    // session indices so any offender can be re-materialized later.
+    std::optional<Observatory> obs;
+    if (observatory_on) {
+        obs.emplace(obs_config, nullptr, [shard, done](std::size_t i) {
+            return shard.global(done + i);
+        });
+        if (resume) {
+            std::string error;
+            if (!obs->load(checkpoint_path + ".obs", &error))
+                fatal("cannot resume observatory from %s.obs: %s",
+                      checkpoint_path.c_str(), error.c_str());
+            if (obs->resume_pos() != done)
+                fatal("observatory checkpoint covers %llu sessions but "
+                      "the aggregator covers %llu — mismatched resume "
+                      "state",
+                      (unsigned long long)obs->resume_pos(),
+                      (unsigned long long)done);
+        }
+    }
+
     const ExperimentRunner runner(jobs);
-    CallbackSink sink([&](std::size_t index, RunReport &&report) {
-        (void)index;
-        agg.consume(index, std::move(report));
+
+    // Fan the stream out: aggregator, observatory (when on), then the
+    // checkpoint saver — which runs last so a periodic checkpoint never
+    // captures a half-delivered index.
+    CallbackSink saver([&](std::size_t, RunReport &&) {
         if (checkpoint_every > 0 && agg.resume_pos() % checkpoint_every == 0
             && !checkpoint_path.empty()) {
             if (!agg.save(checkpoint_path))
                 fatal("cannot write %s", checkpoint_path.c_str());
+            if (obs && !obs->save(checkpoint_path + ".obs"))
+                fatal("cannot write %s.obs", checkpoint_path.c_str());
         }
     });
+    std::vector<ReportSink *> branches{&agg};
+    if (obs)
+        branches.push_back(&*obs);
+    branches.push_back(&saver);
+    TeeSink sink(std::move(branches));
 
     const auto t0 = std::chrono::steady_clock::now();
     runner.run_stream(
         todo,
         [&](std::size_t p) {
-            const std::uint64_t global = shard.global(done + p);
-            SessionSpec spec = fleet.session(global);
-            Experiment point;
-            point.config = spec.config.with_sim_workers(sim_workers);
-            point.scenario = std::move(spec.scenario);
-            point.label = std::move(spec.label);
-            return point;
+            return fleet.experiment(shard.global(done + p), sim_workers);
         },
         sink);
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
 
-    if (!checkpoint_path.empty() && !agg.save(checkpoint_path))
-        fatal("cannot write %s", checkpoint_path.c_str());
+    if (!checkpoint_path.empty()) {
+        if (!agg.save(checkpoint_path))
+            fatal("cannot write %s", checkpoint_path.c_str());
+        if (obs && !obs->save(checkpoint_path + ".obs"))
+            fatal("cannot write %s.obs", checkpoint_path.c_str());
+    }
 
     if (shard.count > 1)
         std::printf("shard %llu/%llu: %llu of %llu sessions\n",
@@ -188,6 +294,11 @@ main(int argc, char **argv)
                     (unsigned long long)shard_sessions,
                     (unsigned long long)sessions);
     std::fputs(agg.summary().c_str(), stdout);
+    if (obs)
+        std::fputs(obs->summary().c_str(), stdout);
+
+    if (obs && !specimens_dir.empty())
+        write_specimens(*obs, fleet, sim_workers, specimens_dir);
 
     const double rss_mb = peak_rss_mb();
     if (!golden) {
@@ -201,31 +312,20 @@ main(int argc, char **argv)
     }
 
     if (out_path != "-") {
-        FILE *f = std::fopen(out_path.c_str(), "w");
-        if (!f)
-            fatal("cannot write %s", out_path.c_str());
-        std::fprintf(f,
-                     "{\n"
-                     "  \"bench\": \"megafleet_campaign\",\n"
-                     "  \"sessions\": %llu,\n"
-                     "  \"shard_index\": %llu,\n"
-                     "  \"shard_count\": %llu,\n"
-                     "  \"cohorts\": %zu,\n"
-                     "  \"errors\": %llu,\n"
-                     "  \"violations\": %llu,\n"
-                     "  \"wall_s\": %.3f,\n"
-                     "  \"sessions_per_sec\": %.1f,\n"
-                     "  \"peak_rss_mb\": %.1f,\n"
-                     "  \"jobs\": %d\n"
-                     "}\n",
-                     (unsigned long long)agg.sessions(),
-                     (unsigned long long)shard.index,
-                     (unsigned long long)shard.count, agg.cohorts().size(),
-                     (unsigned long long)agg.errors(),
-                     (unsigned long long)agg.invariant_violations(),
-                     wall_s, wall_s > 0 ? double(todo) / wall_s : 0.0,
-                     rss_mb, runner.jobs());
-        std::fclose(f);
+        BenchJson record("megafleet_campaign");
+        record.u64("sessions", agg.sessions());
+        record.u64("shard_index", shard.index);
+        record.u64("shard_count", shard.count);
+        record.u64("cohorts", agg.cohorts().size());
+        record.u64("errors", agg.errors());
+        record.u64("violations", agg.invariant_violations());
+        record.boolean("observatory", observatory_on);
+        record.num("wall_s", wall_s, 3);
+        record.num("sessions_per_sec",
+                   wall_s > 0 ? double(todo) / wall_s : 0.0, 1);
+        record.num("peak_rss_mb", rss_mb, 1);
+        record.i64("jobs", runner.jobs());
+        record.write(out_path);
         std::fprintf(stderr, "record written to %s\n", out_path.c_str());
     }
 

@@ -563,68 +563,72 @@ main(int argc, char **argv)
                 sweep_fdps, reports.size());
 
     if (out_path != "-") {
-        FILE *f = std::fopen(out_path.c_str(), "w");
-        if (!f)
-            fatal("cannot write %s", out_path.c_str());
-        std::fprintf(
-            f,
-            "{\n"
-            "  \"bench\": \"perf_sim_core\",\n"
-            "  \"schema\": 1,\n"
-            "  \"events\": %d,\n"
-            "  \"cancel_window\": %d,\n"
-            "  \"cancel_heavy\": {\n"
-            "    \"slot_map_ms\": %.3f,\n"
-            "    \"linear_scan_ms\": %.3f,\n"
-            "    \"speedup\": %.2f,\n"
-            "    \"dispatched\": %llu,\n"
-            "    \"checksum\": \"%016llx\"\n"
-            "  },\n"
-            "  \"chain\": {\n"
-            "    \"slot_map_ms\": %.3f,\n"
-            "    \"linear_scan_ms\": %.3f,\n"
-            "    \"speedup\": %.2f,\n"
-            "    \"dispatched\": %llu,\n"
-            "    \"checksum\": \"%016llx\"\n"
-            "  },\n"
-            "  \"fig11_sweep\": {\n"
-            "    \"runs\": %zu,\n"
-            "    \"jobs\": %d,\n"
-            "    \"wall_ms\": %.3f,\n"
-            "    \"fdps_sum\": %.6f\n"
-            "  },\n"
-            "  \"forensics_sweep\": {\n"
-            "    \"wall_ms\": %.3f,\n"
-            "    \"overhead_percent\": %.2f\n"
-            "  },\n",
-            events, window, cancel_new_ms, cancel_legacy_ms, speedup,
-            (unsigned long long)fired_new, (unsigned long long)sum_new,
-            chain_new_ms, chain_legacy_ms, chain_legacy_ms / chain_new_ms,
-            (unsigned long long)chain_fired_new,
-            (unsigned long long)chain_sum_new, points.size(),
-            runner.jobs(), sweep_ms, sweep_fdps, forensics_best_ms,
-            overhead_pct);
-        std::fprintf(
-            f,
-            "  \"parallel_mix\": {\n"
-            "    \"surfaces\": %d,\n"
-            "    \"workers\": %d,\n"
-            "    \"hw_cores\": %u,\n"
-            "    \"grain_rounds\": %d,\n"
-            "    \"serial_ms\": %.3f,\n"
-            "    \"parallel_ms\": %.3f,\n"
-            "    \"speedup\": %.2f,\n"
-            "    \"dispatched\": %llu,\n"
-            "    \"windows\": %llu,\n"
-            "    \"lane_hash\": \"%016llx\"\n"
-            "  }\n"
-            "}\n",
-            mix_surfaces, mix_workers, mix_cores, kMixGrainRounds,
-            mix_serial.wall_ms, mix_par.wall_ms, mix_speedup,
-            (unsigned long long)mix_serial.dispatched,
-            (unsigned long long)mix_par.windows,
-            (unsigned long long)mix_serial.hash);
-        std::fclose(f);
+        bench::BenchJson record("perf_sim_core");
+        record.i64("events", events);
+        record.i64("cancel_window", window);
+        char jbuf[512];
+        std::snprintf(jbuf, sizeof(jbuf),
+                      "{\n"
+                      "    \"slot_map_ms\": %.3f,\n"
+                      "    \"linear_scan_ms\": %.3f,\n"
+                      "    \"speedup\": %.2f,\n"
+                      "    \"dispatched\": %llu,\n"
+                      "    \"checksum\": \"%016llx\"\n"
+                      "  }",
+                      cancel_new_ms, cancel_legacy_ms, speedup,
+                      (unsigned long long)fired_new,
+                      (unsigned long long)sum_new);
+        record.raw("cancel_heavy", jbuf);
+        std::snprintf(jbuf, sizeof(jbuf),
+                      "{\n"
+                      "    \"slot_map_ms\": %.3f,\n"
+                      "    \"linear_scan_ms\": %.3f,\n"
+                      "    \"speedup\": %.2f,\n"
+                      "    \"dispatched\": %llu,\n"
+                      "    \"checksum\": \"%016llx\"\n"
+                      "  }",
+                      chain_new_ms, chain_legacy_ms,
+                      chain_legacy_ms / chain_new_ms,
+                      (unsigned long long)chain_fired_new,
+                      (unsigned long long)chain_sum_new);
+        record.raw("chain", jbuf);
+        std::snprintf(jbuf, sizeof(jbuf),
+                      "{\n"
+                      "    \"runs\": %zu,\n"
+                      "    \"jobs\": %d,\n"
+                      "    \"wall_ms\": %.3f,\n"
+                      "    \"fdps_sum\": %.6f\n"
+                      "  }",
+                      points.size(), runner.jobs(), sweep_ms, sweep_fdps);
+        record.raw("fig11_sweep", jbuf);
+        std::snprintf(jbuf, sizeof(jbuf),
+                      "{\n"
+                      "    \"wall_ms\": %.3f,\n"
+                      "    \"overhead_percent\": %.2f\n"
+                      "  }",
+                      forensics_best_ms, overhead_pct);
+        record.raw("forensics_sweep", jbuf);
+        std::snprintf(jbuf, sizeof(jbuf),
+                      "{\n"
+                      "    \"surfaces\": %d,\n"
+                      "    \"workers\": %d,\n"
+                      "    \"hw_cores\": %u,\n"
+                      "    \"grain_rounds\": %d,\n"
+                      "    \"serial_ms\": %.3f,\n"
+                      "    \"parallel_ms\": %.3f,\n"
+                      "    \"speedup\": %.2f,\n"
+                      "    \"dispatched\": %llu,\n"
+                      "    \"windows\": %llu,\n"
+                      "    \"lane_hash\": \"%016llx\"\n"
+                      "  }",
+                      mix_surfaces, mix_workers, mix_cores,
+                      kMixGrainRounds, mix_serial.wall_ms, mix_par.wall_ms,
+                      mix_speedup,
+                      (unsigned long long)mix_serial.dispatched,
+                      (unsigned long long)mix_par.windows,
+                      (unsigned long long)mix_serial.hash);
+        record.raw("parallel_mix", jbuf);
+        record.write(out_path);
         std::printf("\nperf record written to %s\n", out_path.c_str());
     }
 

@@ -313,20 +313,15 @@ main(int argc, char **argv)
     }
 
     if (out_path != "-") {
-        FILE *f = std::fopen(out_path.c_str(), "w");
-        if (!f)
-            fatal("cannot write %s", out_path.c_str());
-        std::fprintf(f,
-                     "{\n"
-                     "  \"bench\": \"trace_campaign\",\n"
-                     "  \"entries\": %zu,\n"
-                     "  \"failures\": %d,\n"
-                     "  \"corpus\": [\n",
-                     entries.size(), failures);
+        bench::BenchJson record("trace_campaign");
+        record.u64("entries", entries.size());
+        record.i64("failures", failures);
+        std::string corpus_json = "[\n";
+        char jbuf[512];
         for (std::size_t i = 0; i < results.size(); ++i) {
             const EntryResult &r = results[i];
-            std::fprintf(
-                f,
+            std::snprintf(
+                jbuf, sizeof(jbuf),
                 "    {\"entry\": \"%s\", \"kind\": \"%s\", "
                 "\"verbatim\": %s, \"bitexact\": %s, "
                 "\"presents\": %llu, \"drops\": %llu, "
@@ -341,9 +336,11 @@ main(int argc, char **argv)
                 (unsigned long long)r.recorded.drops, r.vsync.fdps,
                 r.dvsync.fdps, (unsigned long long)r.violations,
                 i + 1 < results.size() ? "," : "");
+            corpus_json += jbuf;
         }
-        std::fprintf(f, "  ]\n}\n");
-        std::fclose(f);
+        corpus_json += "  ]";
+        record.raw("corpus", corpus_json);
+        record.write(out_path);
         std::printf("trace record written to %s\n", out_path.c_str());
     }
 

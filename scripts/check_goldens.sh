@@ -22,6 +22,7 @@ for golden in bench/goldens/*.txt; do
         fleet_campaign.golden) continue ;;
         dvsync_inspect.golden) continue ;;
         megafleet_campaign.golden) continue ;;
+        megafleet_observatory.golden) continue ;;
         trace_campaign.golden) continue ;;
     esac
     bin="$BENCH_DIR/$name"
@@ -136,6 +137,23 @@ else
     echo "DIFF     megafleet_campaign (golden replay)"
     diff bench/goldens/megafleet_campaign.golden.txt \
          "$TMP/megafleet_campaign.golden.txt" | head -20 || true
+    fail=1
+fi
+
+# megafleet observatory: the same golden replay with the SLO/anomaly
+# monitor on appends the observatory roll-up (burn-rates, per-cohort
+# table, top-K offenders) to the fleet summary. Pinning it catches
+# drifts in SLO evaluation, anomaly scoring, and the top-K ranking in
+# one shot; byte-stable at any --jobs like the plain golden.
+"$BENCH_DIR/megafleet_campaign" --golden --observatory \
+    > "$TMP/megafleet_observatory.golden.txt" 2>&1
+if cmp -s bench/goldens/megafleet_observatory.golden.txt \
+          "$TMP/megafleet_observatory.golden.txt"; then
+    echo "OK       megafleet_campaign (observatory golden)"
+else
+    echo "DIFF     megafleet_campaign (observatory golden)"
+    diff bench/goldens/megafleet_observatory.golden.txt \
+         "$TMP/megafleet_observatory.golden.txt" | head -20 || true
     fail=1
 fi
 

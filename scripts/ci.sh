@@ -111,6 +111,45 @@ if ! cmp "$MEGATMP/merged_summary.txt" "$MEGATMP/unsharded_summary.txt"; then
 fi
 echo "megafleet sharded smoke: 2-way merge byte-identical to unsharded"
 
+# Observatory smoke: the same sharded campaign with the SLO/anomaly
+# monitor on. The merged observatory state (checkpoint AND printed
+# summary: burn-rates, cohort table, top-K offenders) must be
+# byte-identical to the unsharded run, the merge must auto-capture the
+# top-K offenders as verified .dvst specimens, every specimen must
+# replay bit-exactly through trace_campaign, and the specimen listing
+# must resolve every manifest entry to a file on disk.
+OBSTMP="$MEGATMP/observatory"
+"$MEGA" --sessions="$SMOKE_SESSIONS" --observatory --out=- \
+    --checkpoint="$MEGATMP/obs_unsharded.json" > /dev/null
+"$MEGA" --sessions="$SMOKE_SESSIONS" --shard=0/2 --observatory --out=- \
+    --checkpoint="$MEGATMP/obs_shard0.json" > /dev/null
+"$MEGA" --sessions="$SMOKE_SESSIONS" --shard=1/2 --observatory --out=- \
+    --checkpoint="$MEGATMP/obs_shard1.json" > /dev/null
+"$MEGA" --merge --observatory --specimens="$OBSTMP" \
+    --checkpoint="$MEGATMP/obs_merged.json" \
+    "$MEGATMP/obs_shard0.json" "$MEGATMP/obs_shard1.json" \
+    > "$MEGATMP/obs_merged_summary.txt"
+"$MEGA" --merge --observatory "$MEGATMP/obs_unsharded.json" \
+    > "$MEGATMP/obs_unsharded_summary.txt"
+if ! cmp "$MEGATMP/obs_merged.json.obs" "$MEGATMP/obs_unsharded.json.obs"; then
+    echo "observatory: merged shard checkpoint differs from unsharded" >&2
+    exit 1
+fi
+if ! cmp "$MEGATMP/obs_merged_summary.txt" "$MEGATMP/obs_unsharded_summary.txt"; then
+    echo "observatory: merged shard summary differs from unsharded" >&2
+    exit 1
+fi
+"$BUILD_DIR/bench/trace_campaign" --corpus="$OBSTMP" --out=- > /dev/null
+"$BUILD_DIR/bench/dvsync_inspect" --specimens="$OBSTMP" > /dev/null
+echo "observatory smoke: 2-way merge byte-identical, top-K specimens bit-exact"
+
+# Observatory tax (plain build only — sanitizer timings are meaningless):
+# sessions/sec with the monitor on vs off, aggregator parity enforced,
+# wall-clock overhead within the 5% budget (nonzero exit otherwise).
+if [[ "$SANITIZE" == OFF ]]; then
+    "$BUILD_DIR/bench/observatory_overhead" --out="BENCH_observatory.json"
+fi
+
 # Trace corpus regression: replay every committed .dvst capture as
 # recorded and under both forced pacing modes. Every verbatim entry must
 # re-verify bit-exactly against its recording (event dispatch hash plus

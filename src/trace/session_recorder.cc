@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "trace/dvst_io.h"
+#include "trace/trace_replay.h"
 
 namespace dvs {
 
@@ -118,6 +119,35 @@ SessionRecorder::capture(MultiSurfaceSystem &sys, const std::string &label)
     cap.source_dispatch_hash = sys.sim().events().dispatch_hash();
     cap.source_report_fnv = fnv1a(report.debug_string());
     return cap;
+}
+
+bool
+SessionRecorder::capture_verified(RenderSystem &sys,
+                                  const std::string &label,
+                                  const std::string &path,
+                                  std::string *error, SessionCapture *out)
+{
+    const auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what;
+        return false;
+    };
+    const SessionCapture cap = capture(sys, label);
+    if (!cap.save(path))
+        return fail("cannot write " + path);
+    // Verify the *file*, not the in-memory capture: a decode bug or a
+    // lossy round-trip must fail here, not at the consumer's replay.
+    SessionCapture loaded;
+    std::string decode_error;
+    if (!SessionCapture::load(path, loaded, decode_error))
+        return fail(path + ": " + decode_error);
+    const ReplayResult replayed = replay_session(loaded);
+    const std::string mismatch = replayed.verify_against(loaded);
+    if (!mismatch.empty())
+        return fail(path + ": " + mismatch);
+    if (out)
+        *out = std::move(loaded);
+    return true;
 }
 
 } // namespace dvs

@@ -46,6 +46,21 @@ class SessionRecorder
                                   const std::string &label = "");
 
     /**
+     * Capture @p sys, save the .dvst to @p path, then *prove* the file:
+     * reload it and replay it verbatim, requiring the bit-exact contract
+     * (dispatch hash + report fingerprint) to hold. @return false with
+     * @p *error set on I/O failure or any replay divergence; on success
+     * @p *out (when non-null) receives the reloaded capture. This is the
+     * save path for anything that promises its captures replay — the
+     * observatory's tail auto-capture pins every specimen through it.
+     */
+    static bool capture_verified(RenderSystem &sys,
+                                 const std::string &label,
+                                 const std::string &path,
+                                 std::string *error = nullptr,
+                                 SessionCapture *out = nullptr);
+
+    /**
      * Derive the replayable form of @p scenario: dense per-segment cost
      * tables sized for @p device (covering the highest rate the panel
      * can anchor a segment at) widened to @p producer's observed slot

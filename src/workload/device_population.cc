@@ -132,6 +132,17 @@ DevicePopulation::session(std::uint64_t index) const
     return s;
 }
 
+Experiment
+DevicePopulation::experiment(std::uint64_t index, int sim_workers) const
+{
+    SessionSpec spec = session(index);
+    Experiment point;
+    point.config = spec.config.with_sim_workers(sim_workers);
+    point.scenario = std::move(spec.scenario);
+    point.label = std::move(spec.label);
+    return point;
+}
+
 std::string
 DevicePopulation::cohort_of(std::uint64_t index) const
 {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/render_system.h"
+#include "harness/experiment_runner.h"
 #include "workload/app_profiles.h"
 #include "workload/scenario.h"
 
@@ -89,6 +90,14 @@ class DevicePopulation
 
     /** Materialize session @p index (pure; thread-safe). */
     SessionSpec session(std::uint64_t index) const;
+
+    /**
+     * Materialize session @p index as a ready-to-run harness point —
+     * the one way every consumer (campaign stream, observatory
+     * specimen re-simulation, tests) builds a fleet session, so they
+     * cannot drift apart. Pure and thread-safe like session().
+     */
+    Experiment experiment(std::uint64_t index, int sim_workers = 0) const;
 
     /** Cohort label of session @p index without building the scenario. */
     std::string cohort_of(std::uint64_t index) const;
